@@ -1,0 +1,132 @@
+//! Microbenchmarks of the substrate hot paths: event engine throughput,
+//! feasibility sampling, constraint matching, CRV monitor refresh, and the
+//! P-K estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use phoenix_bench::{run_spec, RunSpec, SchedulerKind};
+use phoenix_constraints::{
+    ConstraintModel, FeasibilityIndex, MachinePopulation, PopulationProfile,
+};
+use phoenix_core::{CrvMonitor, WaitEstimator};
+use phoenix_sim::{SimDuration, SimTime, WorkerId};
+use phoenix_traces::TraceProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let mut spec = RunSpec::new(TraceProfile::yahoo(), SchedulerKind::SparrowC);
+    spec.nodes = 100;
+    spec.gen_nodes = 100;
+    spec.jobs = 1_000;
+    spec.gen_util = 0.7;
+    spec.record_task_waits = false;
+    // Pre-measure the task count so throughput is per task.
+    let tasks = run_spec(&spec).counters.tasks_completed;
+    group.throughput(Throughput::Elements(tasks));
+    group.sample_size(10);
+    group.bench_function("sparrow_1k_jobs_100_nodes", |b| {
+        b.iter(|| black_box(run_spec(black_box(&spec)).counters.tasks_completed));
+    });
+    group.finish();
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feasibility");
+    let mut rng = StdRng::seed_from_u64(1);
+    let population =
+        MachinePopulation::generate(PopulationProfile::google_like(), 15_000, &mut rng);
+    let index = FeasibilityIndex::new(population.into_machines());
+    let model = ConstraintModel::google();
+    let sets: Vec<_> = (0..64).map(|_| model.synthesize_set(&mut rng)).collect();
+    // Warm the cache as a scheduler would.
+    for set in &sets {
+        let _ = index.feasible(set);
+    }
+    group.bench_function("sample_feasible_2_of_15k", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % sets.len();
+            black_box(index.sample_feasible(&sets[i], 2, &mut rng, |_| false))
+        });
+    });
+    group.bench_function("cold_full_scan_15k", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let fresh = model.synthesize_set(&mut rng);
+            black_box(index.count_feasible(&fresh))
+        });
+    });
+    group.finish();
+}
+
+fn bench_crv_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crv_monitor");
+    group.sample_size(20);
+    // A mid-run state with populated queues: run a hot simulation and keep
+    // its final state shape by rebuilding queues via a fresh sim.
+    let mut spec = RunSpec::new(TraceProfile::google(), SchedulerKind::Phoenix);
+    spec.nodes = 1_000;
+    spec.gen_nodes = 1_000;
+    spec.jobs = 3_000;
+    spec.gen_util = 0.92;
+    spec.record_task_waits = false;
+    group.bench_function("refresh_1k_workers_via_run", |b| {
+        b.iter(|| {
+            // End-to-end: the run itself performs a monitor refresh every
+            // 9 simulated seconds.
+            black_box(run_spec(black_box(&spec)).counters.crv_reordered_tasks)
+        });
+    });
+    group.bench_function("refresh_idle_state", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cluster =
+            MachinePopulation::generate(PopulationProfile::google_like(), 5_000, &mut rng);
+        let trace =
+            phoenix_traces::TraceGenerator::new(TraceProfile::google(), 1).generate(10, 5_000, 0.5);
+        let state = phoenix_sim::Simulation::new(
+            phoenix_sim::SimConfig::default(),
+            FeasibilityIndex::new(cluster.into_machines()),
+            &trace,
+            Box::new(phoenix_sim::RandomScheduler::new(2)),
+            1,
+        )
+        .into_state_for_tests();
+        let mut monitor = CrvMonitor::new();
+        b.iter(|| {
+            monitor.refresh(black_box(&state));
+            black_box(monitor.max_ratio())
+        });
+    });
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pk_estimator");
+    group.bench_function("record_and_estimate", |b| {
+        let mut est = WaitEstimator::new(1_000);
+        let mut t = SimTime::ZERO;
+        let mut i = 0u32;
+        b.iter(|| {
+            let w = WorkerId(i % 1_000);
+            est.record_arrival(w, t);
+            est.record_service(w, SimDuration::from_millis(500));
+            t += SimDuration::from_millis(1);
+            i = i.wrapping_add(1);
+            black_box(est.expected_wait(w))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_engine_throughput,
+    bench_feasibility,
+    bench_crv_monitor,
+    bench_estimator,
+);
+criterion_main!(micro);

@@ -1,0 +1,126 @@
+//! Minimal command-line scaling for the experiment binaries.
+
+use phoenix_traces::TraceProfile;
+
+/// Experiment scale: translates the paper's absolute cluster sizes into
+/// tractable run sizes while preserving utilization (the driver of every
+/// result).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Multiplier applied to each trace profile's paper-scale node count.
+    pub node_factor: f64,
+    /// Jobs per run.
+    pub jobs: usize,
+    /// Seeds per data point (the paper averages five runs).
+    pub seeds: u64,
+}
+
+impl Scale {
+    /// Quick scale: 1/10 of the paper's cluster sizes, 3 seeds. A full
+    /// figure regenerates in minutes on a laptop. Below ~1/10 scale the
+    /// rarest constraint classes shrink to a couple of machines and their
+    /// queueing behaviour stops being representative.
+    pub fn quick() -> Self {
+        Scale {
+            node_factor: 0.1,
+            jobs: 20_000,
+            seeds: 3,
+        }
+    }
+
+    /// Smoke scale for tests/benches: small but exercising every code path.
+    pub fn smoke() -> Self {
+        Scale {
+            node_factor: 0.06,
+            jobs: 3_000,
+            seeds: 1,
+        }
+    }
+
+    /// Full scale: 1/3 of the paper's node counts, 5 seeds (15,000-node
+    /// runs at factor 1.0 work but take hours for the full sweep set).
+    pub fn full() -> Self {
+        Scale {
+            node_factor: 0.33,
+            jobs: 100_000,
+            seeds: 5,
+        }
+    }
+
+    /// Parses `--scale quick|smoke|full` (and optional `--seeds N`,
+    /// `--jobs N`) from the process arguments; defaults to quick.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = Scale::quick();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    scale = match args[i + 1].as_str() {
+                        "full" => Scale::full(),
+                        "smoke" => Scale::smoke(),
+                        _ => Scale::quick(),
+                    };
+                    i += 1;
+                }
+                "--seeds" if i + 1 < args.len() => {
+                    if let Ok(n) = args[i + 1].parse() {
+                        scale.seeds = n;
+                    }
+                    i += 1;
+                }
+                "--jobs" if i + 1 < args.len() => {
+                    if let Ok(n) = args[i + 1].parse() {
+                        scale.jobs = n;
+                    }
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        scale
+    }
+
+    /// The scaled node count for a trace profile.
+    pub fn nodes_for(&self, profile: &TraceProfile) -> usize {
+        ((profile.default_nodes as f64) * self.node_factor).round() as usize
+    }
+
+    /// Seed values for one data point.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (1..=self.seeds).collect()
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_nodes_follow_profile() {
+        let s = Scale::quick();
+        assert_eq!(s.nodes_for(&TraceProfile::google()), 1_500);
+        assert_eq!(s.nodes_for(&TraceProfile::yahoo()), 500);
+    }
+
+    #[test]
+    fn seed_list_has_requested_length() {
+        assert_eq!(Scale::full().seed_list().len(), 5);
+        assert_eq!(Scale::smoke().seed_list(), vec![1]);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        let (s, q, f) = (Scale::smoke(), Scale::quick(), Scale::full());
+        assert!(s.node_factor < q.node_factor && q.node_factor < f.node_factor);
+        assert!(s.jobs < q.jobs && q.jobs < f.jobs);
+        assert!(s.seeds <= q.seeds && q.seeds <= f.seeds);
+    }
+}

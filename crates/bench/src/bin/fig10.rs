@@ -1,0 +1,24 @@
+//! Fig. 10: short-job response times of Phoenix normalized to Hawk-C on the
+//! Google trace, across cluster sizes.
+//!
+//! Expected shape (paper): Phoenix takes only ~21 % of Hawk-C's p90 (~18 %
+//! of its p99) at 86 % utilization — i.e. 4.7x/5.5x better — shrinking to
+//! ~1.25-1.3x at 40 % utilization.
+
+use phoenix_bench::{print_normalized_sweep, sweep, Scale, SchedulerKind};
+use phoenix_traces::TraceProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    let points = sweep(
+        &TraceProfile::google(),
+        &[SchedulerKind::Phoenix, SchedulerKind::HawkC],
+        &scale,
+        0.92,
+    );
+    print_normalized_sweep(
+        "Fig. 10 (google): short jobs, phoenix / hawk-c",
+        &points,
+        |s| s.short_response,
+    );
+}

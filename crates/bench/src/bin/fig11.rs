@@ -1,0 +1,23 @@
+//! Fig. 11: short-job response times of Phoenix normalized to Sparrow-C on
+//! the Google trace, across cluster sizes.
+//!
+//! Expected shape (paper): Phoenix takes ~48 % of Sparrow-C's p50 at 86 %
+//! utilization (~2x better), approaching parity at the p99/low-load corner.
+
+use phoenix_bench::{print_normalized_sweep, sweep, Scale, SchedulerKind};
+use phoenix_traces::TraceProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    let points = sweep(
+        &TraceProfile::google(),
+        &[SchedulerKind::Phoenix, SchedulerKind::SparrowC],
+        &scale,
+        0.92,
+    );
+    print_normalized_sweep(
+        "Fig. 11 (google): short jobs, phoenix / sparrow-c",
+        &points,
+        |s| s.short_response,
+    );
+}

@@ -1,0 +1,53 @@
+//! Fig. 3: queuing delay of constrained vs. unconstrained jobs over trace
+//! time — the Google trace executed under Eagle-C.
+//!
+//! Expected shape (paper): during arrival peaks the constrained jobs'
+//! queuing delay spikes far above the unconstrained jobs' and takes long to
+//! drain back to the baseline.
+
+use phoenix_bench::{run_spec, RunSpec, Scale, SchedulerKind};
+use phoenix_metrics::Table;
+use phoenix_traces::TraceProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    let profile = TraceProfile::google();
+    let nodes = scale.nodes_for(&profile);
+    let mut spec = RunSpec::new(profile, SchedulerKind::EagleC);
+    spec.nodes = nodes;
+    spec.gen_nodes = nodes;
+    spec.gen_util = 0.9;
+    spec.jobs = scale.jobs;
+    let result = run_spec(&spec);
+
+    println!(
+        "== Fig. 3 (google, eagle-c, {} nodes): task queuing delay over time ==",
+        nodes
+    );
+    let constrained = result.metrics.constrained_wait_series.bucket_means();
+    let unconstrained = result.metrics.unconstrained_wait_series.bucket_means();
+    let mut table = Table::new(vec![
+        "t (s)",
+        "constrained mean wait (s)",
+        "unconstrained mean wait (s)",
+    ]);
+    // Join the two series on bucket start time.
+    let mut ui = 0usize;
+    for (t, c) in &constrained {
+        while ui < unconstrained.len() && unconstrained[ui].0 < *t {
+            ui += 1;
+        }
+        let u = if ui < unconstrained.len() && (unconstrained[ui].0 - t).abs() < 1e-9 {
+            format!("{:.2}", unconstrained[ui].1)
+        } else {
+            "-".to_string()
+        };
+        table.add_row(vec![format!("{t:.0}"), format!("{c:.2}"), u]);
+    }
+    println!("{table}");
+
+    // Headline: peak constrained vs unconstrained delay.
+    let peak_c = constrained.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+    let peak_u = unconstrained.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+    println!("peak constrained wait: {peak_c:.2}s, peak unconstrained wait: {peak_u:.2}s");
+}

@@ -1,0 +1,25 @@
+//! Fig. 7: short-job response times (p50/p90/p99) of Phoenix normalized to
+//! Eagle-C across cluster sizes (utilization sweep), for all three traces.
+//!
+//! Expected shape (paper): ~1.9x better p99 at ~85 % utilization,
+//! converging toward parity as utilization drops below ~45 %.
+
+use phoenix_bench::{print_normalized_sweep, sweep, Scale, SchedulerKind};
+use phoenix_traces::TraceProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    for profile in TraceProfile::all() {
+        let points = sweep(
+            &profile,
+            &[SchedulerKind::Phoenix, SchedulerKind::EagleC],
+            &scale,
+            0.92,
+        );
+        print_normalized_sweep(
+            &format!("Fig. 7 ({}): short jobs, phoenix / eagle-c", profile.name),
+            &points,
+            |s| s.short_response,
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Fig. 8: long-job response times (p50/p90/p99) of Phoenix normalized to
+//! Eagle-C across cluster sizes, for all three traces.
+//!
+//! Expected shape (paper): ratios ~1.0 everywhere — CRV reordering must not
+//! hurt long jobs.
+
+use phoenix_bench::{print_normalized_sweep, sweep, Scale, SchedulerKind};
+use phoenix_traces::TraceProfile;
+
+fn main() {
+    let scale = Scale::from_args();
+    for profile in TraceProfile::all() {
+        let points = sweep(
+            &profile,
+            &[SchedulerKind::Phoenix, SchedulerKind::EagleC],
+            &scale,
+            0.92,
+        );
+        print_normalized_sweep(
+            &format!("Fig. 8 ({}): long jobs, phoenix / eagle-c", profile.name),
+            &points,
+            |s| s.long_response,
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Trace replay tool: load a trace file (see `tracegen`) and run it under
+//! any scheduler on a freshly generated cluster.
+//!
+//! ```sh
+//! cargo run --release -p phoenix-bench --bin replay -- \
+//!     --file trace.txt --scheduler phoenix --nodes 1500 --profile google
+//! ```
+
+use phoenix_bench::SchedulerKind;
+use phoenix_constraints::{FeasibilityIndex, MachinePopulation};
+use phoenix_metrics::JobClass;
+use phoenix_sim::{SimConfig, Simulation};
+use phoenix_traces::{read_trace, TraceProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arg(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+fn main() {
+    let path = arg("--file").expect("--file <trace.txt> is required");
+    let file = std::fs::File::open(&path).expect("open trace file");
+    let trace = read_trace(std::io::BufReader::new(file)).expect("parse trace");
+    println!("loaded {trace}");
+
+    let profile_name = arg("--profile").unwrap_or_else(|| trace.name().to_string());
+    let profile = TraceProfile::by_name(&profile_name)
+        .unwrap_or_else(|| panic!("unknown cluster profile '{profile_name}'"));
+    let nodes: usize = arg("--nodes").and_then(|v| v.parse().ok()).unwrap_or(1_500);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let kind = match arg("--scheduler").as_deref() {
+        Some("eagle-c") => SchedulerKind::EagleC,
+        Some("hawk-c") => SchedulerKind::HawkC,
+        Some("sparrow-c") => SchedulerKind::SparrowC,
+        Some("yaq-d") => SchedulerKind::YaqD,
+        Some("mercury-c") => SchedulerKind::MercuryC,
+        Some("monolithic-c") => SchedulerKind::MonolithicC,
+        _ => SchedulerKind::Phoenix,
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cluster = MachinePopulation::generate(profile.population.clone(), nodes, &mut rng);
+    let result = Simulation::new(
+        SimConfig::default(),
+        FeasibilityIndex::new(cluster.into_machines()),
+        &trace,
+        kind.build(profile.short_cutoff_s()),
+        seed,
+    )
+    .run();
+    println!("{result}");
+    println!(
+        "short: p50 {:.1}s p90 {:.1}s p99 {:.1}s | long p99 {:.1}s",
+        result.class_response_percentile(JobClass::Short, 50.0),
+        result.class_response_percentile(JobClass::Short, 90.0),
+        result.class_response_percentile(JobClass::Short, 99.0),
+        result.class_response_percentile(JobClass::Long, 99.0),
+    );
+}

@@ -1,0 +1,36 @@
+//! Trace generation / export tool: synthesize a trace for any profile and
+//! write it in the text format of `phoenix_traces::io` (stdout or a file).
+//!
+//! ```sh
+//! cargo run --release -p phoenix-bench --bin tracegen -- \
+//!     --trace google --jobs 5000 --nodes 1500 --util 0.9 --seed 1 --out trace.txt
+//! ```
+
+use phoenix_traces::{write_trace, TraceGenerator, TraceProfile, TraceStats};
+
+fn arg(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+fn main() {
+    let profile_name = arg("--trace").unwrap_or_else(|| "google".into());
+    let profile = TraceProfile::by_name(&profile_name).expect("yahoo, cloudera or google");
+    let jobs: usize = arg("--jobs").and_then(|v| v.parse().ok()).unwrap_or(5_000);
+    let nodes: usize = arg("--nodes").and_then(|v| v.parse().ok()).unwrap_or(1_500);
+    let util: f64 = arg("--util").and_then(|v| v.parse().ok()).unwrap_or(0.9);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+
+    let trace = TraceGenerator::new(profile, seed).generate(jobs, nodes, util);
+    eprintln!("{}", TraceStats::measure(&trace, 10.0));
+    match arg("--out") {
+        Some(path) => {
+            let file = std::fs::File::create(&path).expect("create output file");
+            write_trace(&trace, std::io::BufWriter::new(file)).expect("write trace");
+            eprintln!("wrote {path}");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write_trace(&trace, stdout.lock()).expect("write trace");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Single-run and batched experiment execution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use phoenix_constraints::{FeasibilityIndex, MachinePopulation};
+use phoenix_core::{Phoenix, PhoenixConfig};
+use phoenix_schedulers::{
+    BaselineConfig, ChoosyC, EagleC, HawkC, MercuryC, MonolithicC, SparrowC, YaqD,
+};
+use phoenix_sim::{Scheduler, SimConfig, SimResult, Simulation};
+use phoenix_traces::{TraceGenerator, TraceProfile};
+
+/// The schedulers the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Phoenix (this paper).
+    Phoenix,
+    /// Eagle-C: the primary baseline.
+    EagleC,
+    /// Hawk-C.
+    HawkC,
+    /// Sparrow-C.
+    SparrowC,
+    /// Yaq-d.
+    YaqD,
+    /// Mercury-C: hybrid control plane with early binding.
+    MercuryC,
+    /// Monolithic-C: Borg/Mesos-style fully centralized early binding.
+    MonolithicC,
+    /// Choosy-C: constrained max-min fair centralized scheduling.
+    ChoosyC,
+    /// Phoenix without CRV reordering (ablation: pure Eagle-style SRPT with
+    /// Phoenix's admission control).
+    PhoenixNoCrv,
+    /// Phoenix without admission control (ablation).
+    PhoenixNoAdmission,
+}
+
+impl SchedulerKind {
+    /// Display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Phoenix => "phoenix",
+            SchedulerKind::EagleC => "eagle-c",
+            SchedulerKind::HawkC => "hawk-c",
+            SchedulerKind::SparrowC => "sparrow-c",
+            SchedulerKind::YaqD => "yaq-d",
+            SchedulerKind::MercuryC => "mercury-c",
+            SchedulerKind::MonolithicC => "monolithic-c",
+            SchedulerKind::ChoosyC => "choosy-c",
+            SchedulerKind::PhoenixNoCrv => "phoenix-no-crv",
+            SchedulerKind::PhoenixNoAdmission => "phoenix-no-admission",
+        }
+    }
+
+    /// Instantiates the scheduler for a trace with the given short/long
+    /// cutoff (seconds).
+    pub fn build(self, cutoff_s: f64) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Phoenix => {
+                Box::new(Phoenix::new(PhoenixConfig::with_cutoff_s(cutoff_s)))
+            }
+            SchedulerKind::EagleC => Box::new(EagleC::new(BaselineConfig::with_cutoff_s(cutoff_s))),
+            SchedulerKind::HawkC => Box::new(HawkC::new(BaselineConfig::with_cutoff_s(cutoff_s))),
+            SchedulerKind::SparrowC => {
+                Box::new(SparrowC::new(BaselineConfig::with_cutoff_s(cutoff_s)))
+            }
+            SchedulerKind::YaqD => Box::new(YaqD::new(BaselineConfig::with_cutoff_s(cutoff_s))),
+            SchedulerKind::MercuryC => {
+                Box::new(MercuryC::new(BaselineConfig::with_cutoff_s(cutoff_s)))
+            }
+            SchedulerKind::MonolithicC => {
+                Box::new(MonolithicC::new(BaselineConfig::with_cutoff_s(cutoff_s)))
+            }
+            SchedulerKind::ChoosyC => {
+                Box::new(ChoosyC::new(BaselineConfig::with_cutoff_s(cutoff_s)))
+            }
+            SchedulerKind::PhoenixNoCrv => {
+                let mut config = PhoenixConfig::with_cutoff_s(cutoff_s);
+                config.crv_reordering = false;
+                Box::new(Phoenix::new(config))
+            }
+            SchedulerKind::PhoenixNoAdmission => {
+                let mut config = PhoenixConfig::with_cutoff_s(cutoff_s);
+                config.admission_control = false;
+                Box::new(Phoenix::new(config))
+            }
+        }
+    }
+}
+
+/// One deterministic simulation run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Trace profile (Google / Cloudera / Yahoo).
+    pub profile: TraceProfile,
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Cluster size the run executes on.
+    pub nodes: usize,
+    /// Number of jobs in the trace.
+    pub jobs: usize,
+    /// Cluster size the trace's load was calibrated for (the sweep varies
+    /// `nodes` against a fixed workload, like the paper).
+    pub gen_nodes: usize,
+    /// Target utilization at `gen_nodes`.
+    pub gen_util: f64,
+    /// RNG seed (cluster, trace and scheduler randomness all derive from
+    /// it).
+    pub seed: u64,
+    /// Record per-task wait samples (heavier; needed for CDF figures).
+    pub record_task_waits: bool,
+}
+
+impl RunSpec {
+    /// A spec running `scheduler` on `profile` at the profile-default
+    /// cluster scale.
+    pub fn new(profile: TraceProfile, scheduler: SchedulerKind) -> Self {
+        let nodes = profile.default_nodes;
+        RunSpec {
+            profile,
+            scheduler,
+            nodes,
+            jobs: 10_000,
+            gen_nodes: nodes,
+            gen_util: 0.9,
+            seed: 1,
+            record_task_waits: true,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy running on a different cluster size (workload
+    /// unchanged).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Returns a copy with a different scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+}
+
+/// Executes one run: generates the cluster and trace, simulates, returns
+/// the result.
+pub fn run_spec(spec: &RunSpec) -> SimResult {
+    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17));
+    let cluster =
+        MachinePopulation::generate(spec.profile.population.clone(), spec.nodes, &mut rng);
+    let trace = TraceGenerator::new(spec.profile.clone(), spec.seed).generate(
+        spec.jobs,
+        spec.gen_nodes,
+        spec.gen_util,
+    );
+    let cutoff = spec.profile.short_cutoff_s();
+    let config = SimConfig {
+        record_task_waits: spec.record_task_waits,
+        ..SimConfig::default()
+    };
+    Simulation::new(
+        config,
+        FeasibilityIndex::new(cluster.into_machines()),
+        &trace,
+        spec.scheduler.build(cutoff),
+        spec.seed,
+    )
+    .run()
+}
+
+/// Executes a batch of runs in parallel (bounded by available CPU cores),
+/// preserving input order in the output.
+pub fn run_many(specs: &[RunSpec]) -> Vec<SimResult> {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(specs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<SimResult>>> =
+        specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..parallelism {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= specs.len() {
+                    return;
+                }
+                let result = run_spec(&specs[i]);
+                *results[i].lock().expect("no poisoned locks") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no poisoned locks")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(kind: SchedulerKind) -> RunSpec {
+        let mut spec = RunSpec::new(TraceProfile::yahoo(), kind);
+        spec.nodes = 60;
+        spec.gen_nodes = 60;
+        spec.jobs = 150;
+        spec.gen_util = 0.6;
+        spec
+    }
+
+    #[test]
+    fn every_scheduler_kind_runs() {
+        for kind in [
+            SchedulerKind::Phoenix,
+            SchedulerKind::EagleC,
+            SchedulerKind::HawkC,
+            SchedulerKind::SparrowC,
+            SchedulerKind::YaqD,
+            SchedulerKind::MercuryC,
+            SchedulerKind::MonolithicC,
+            SchedulerKind::ChoosyC,
+            SchedulerKind::PhoenixNoCrv,
+            SchedulerKind::PhoenixNoAdmission,
+        ] {
+            let result = run_spec(&tiny_spec(kind));
+            assert_eq!(result.incomplete_jobs, 0, "{}", kind.name());
+            // Ablation kinds run the base policy (which reports its own
+            // name); plain kinds match exactly.
+            assert!(
+                kind.name().starts_with(&result.scheduler),
+                "{} vs {}",
+                kind.name(),
+                result.scheduler
+            );
+        }
+    }
+
+    #[test]
+    fn run_many_matches_sequential_runs() {
+        let specs: Vec<RunSpec> = (0..4)
+            .map(|s| tiny_spec(SchedulerKind::EagleC).with_seed(s))
+            .collect();
+        let parallel = run_many(&specs);
+        for (spec, got) in specs.iter().zip(&parallel) {
+            let sequential = run_spec(spec);
+            assert_eq!(sequential.counters, got.counters, "seed {}", spec.seed);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Machine attributes: the supply side of constraint matching.
+//!
+//! Every worker machine in the simulated datacenter carries an
+//! [`AttributeVector`] describing its hardware and system-software
+//! configuration. The attribute kinds mirror the constraint kinds observed in
+//! the Google cluster trace (Table II of the Phoenix paper).
+
+use std::fmt;
+
+/// Instruction-set architecture of a machine.
+///
+/// The Google trace is dominated by x86 machines; the explicit discriminants
+/// let an ISA be carried inside the scalar constraint value (see
+/// [`crate::Constraint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u64)]
+pub enum Isa {
+    /// x86-64 machines (the overwhelming majority of the trace).
+    X86 = 0,
+    /// ARM machines.
+    Arm = 1,
+    /// POWER machines.
+    Power = 2,
+}
+
+impl Isa {
+    /// All ISA variants, in discriminant order.
+    pub const ALL: [Isa; 3] = [Isa::X86, Isa::Arm, Isa::Power];
+
+    /// Converts a scalar constraint value back into an ISA.
+    ///
+    /// Values outside the known range map to `None`.
+    pub fn from_u64(value: u64) -> Option<Isa> {
+        match value {
+            0 => Some(Isa::X86),
+            1 => Some(Isa::Arm),
+            2 => Some(Isa::Power),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Isa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Isa::X86 => "x86",
+            Isa::Arm => "arm",
+            Isa::Power => "power",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Opaque platform-family identifier (micro-architecture generation).
+///
+/// The Google trace hashes platform names; we keep them as small integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PlatformFamily(pub u8);
+
+impl fmt::Display for PlatformFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "platform-{}", self.0)
+    }
+}
+
+/// The full attribute vector of one machine.
+///
+/// Field semantics follow Table II of the paper. All scalar attributes are
+/// totally ordered so that `<`, `>` and `=` constraints are well defined;
+/// categorical attributes ([`Isa`], [`PlatformFamily`]) support only `=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttributeVector {
+    /// Instruction-set architecture.
+    pub isa: Isa,
+    /// Number of CPU cores.
+    pub num_cores: u32,
+    /// Installed memory, in gigabytes.
+    pub memory_gb: u32,
+    /// Number of attached disks (used by both the *maximum disks* and
+    /// *minimum disks* constraint kinds).
+    pub num_disks: u32,
+    /// NIC speed in megabits per second.
+    pub ethernet_mbps: u32,
+    /// OS kernel version, encoded as an ordered integer (e.g. `318` for
+    /// 3.18).
+    pub kernel_version: u32,
+    /// Platform (micro-architecture) family.
+    pub platform: PlatformFamily,
+    /// CPU base clock in megahertz.
+    pub cpu_clock_mhz: u32,
+    /// Rack this machine lives in (used by placement constraints).
+    pub rack: u32,
+    /// Number of machines in this machine's rack (the *number of nodes*
+    /// constraint of Table II asks for gangs of co-resident nodes).
+    pub rack_size: u32,
+}
+
+impl AttributeVector {
+    /// Starts building an attribute vector from the [`Default`]
+    /// configuration.
+    pub fn builder() -> AttributeVectorBuilder {
+        AttributeVectorBuilder::new()
+    }
+}
+
+impl Default for AttributeVector {
+    /// A modest but realistic commodity machine.
+    fn default() -> Self {
+        AttributeVector {
+            isa: Isa::X86,
+            num_cores: 8,
+            memory_gb: 32,
+            num_disks: 4,
+            ethernet_mbps: 1_000,
+            kernel_version: 310,
+            platform: PlatformFamily(0),
+            cpu_clock_mhz: 2_200,
+            rack: 0,
+            rack_size: 40,
+        }
+    }
+}
+
+impl fmt::Display for AttributeVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}c/{}GB/{}d/{}Mbps/k{}/{}/{}MHz/rack{}",
+            self.isa,
+            self.num_cores,
+            self.memory_gb,
+            self.num_disks,
+            self.ethernet_mbps,
+            self.kernel_version,
+            self.platform,
+            self.cpu_clock_mhz,
+            self.rack,
+        )
+    }
+}
+
+/// Builder for [`AttributeVector`].
+///
+/// All setters are optional; unset fields keep the [`Default`] machine's
+/// values.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeVectorBuilder {
+    inner: AttributeVector,
+}
+
+impl AttributeVectorBuilder {
+    /// Creates a builder seeded with the default machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the instruction-set architecture.
+    pub fn isa(mut self, isa: Isa) -> Self {
+        self.inner.isa = isa;
+        self
+    }
+
+    /// Sets the core count.
+    pub fn num_cores(mut self, cores: u32) -> Self {
+        self.inner.num_cores = cores;
+        self
+    }
+
+    /// Sets the memory size in gigabytes.
+    pub fn memory_gb(mut self, gb: u32) -> Self {
+        self.inner.memory_gb = gb;
+        self
+    }
+
+    /// Sets the disk count.
+    pub fn num_disks(mut self, disks: u32) -> Self {
+        self.inner.num_disks = disks;
+        self
+    }
+
+    /// Sets the NIC speed in Mbps.
+    pub fn ethernet_mbps(mut self, mbps: u32) -> Self {
+        self.inner.ethernet_mbps = mbps;
+        self
+    }
+
+    /// Sets the kernel version (ordered encoding, e.g. `318` for 3.18).
+    pub fn kernel_version(mut self, version: u32) -> Self {
+        self.inner.kernel_version = version;
+        self
+    }
+
+    /// Sets the platform family.
+    pub fn platform(mut self, platform: PlatformFamily) -> Self {
+        self.inner.platform = platform;
+        self
+    }
+
+    /// Sets the CPU clock in MHz.
+    pub fn cpu_clock_mhz(mut self, mhz: u32) -> Self {
+        self.inner.cpu_clock_mhz = mhz;
+        self
+    }
+
+    /// Sets the rack id.
+    pub fn rack(mut self, rack: u32) -> Self {
+        self.inner.rack = rack;
+        self
+    }
+
+    /// Sets the rack size (number of co-resident machines).
+    pub fn rack_size(mut self, size: u32) -> Self {
+        self.inner.rack_size = size;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> AttributeVector {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_round_trips_through_u64() {
+        for isa in Isa::ALL {
+            assert_eq!(Isa::from_u64(isa as u64), Some(isa));
+        }
+        assert_eq!(Isa::from_u64(99), None);
+    }
+
+    #[test]
+    fn builder_overrides_only_requested_fields() {
+        let m = AttributeVector::builder().num_cores(64).build();
+        assert_eq!(m.num_cores, 64);
+        assert_eq!(m.memory_gb, AttributeVector::default().memory_gb);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_isa() {
+        let m = AttributeVector::default();
+        let s = m.to_string();
+        assert!(s.contains("x86"), "display should mention the ISA: {s}");
+    }
+
+    #[test]
+    fn attribute_vector_equality_is_structural() {
+        let a = AttributeVector::builder().rack(3).build();
+        let b = AttributeVector::builder().rack(3).build();
+        let c = AttributeVector::builder().rack(4).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,309 @@
+//! Feasibility matching between constraint sets and machine populations.
+//!
+//! Schedulers constantly ask "which workers can run this task?" — for probe
+//! placement, for work stealing, and for Phoenix's supply estimation. The
+//! [`FeasibilityIndex`] answers those queries over a fixed machine
+//! population, memoizing full scans per distinct [`ConstraintSet`] (the
+//! synthesizer produces a bounded variety of sets, so the cache converges
+//! quickly).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::attr::AttributeVector;
+use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
+
+/// Fraction of `machines` that satisfy `set`, in `[0, 1]`.
+///
+/// Returns 0.0 for an empty population.
+pub fn feasible_fraction(machines: &[AttributeVector], set: &ConstraintSet) -> f64 {
+    if machines.is_empty() {
+        return 0.0;
+    }
+    let n = machines.iter().filter(|m| set.satisfied_by(m)).count();
+    n as f64 / machines.len() as f64
+}
+
+/// Memoizing feasibility oracle over a fixed machine population.
+///
+/// Machines are addressed by their dense index in the population (the same
+/// index the simulator uses as worker id).
+#[derive(Debug)]
+pub struct FeasibilityIndex {
+    machines: Vec<AttributeVector>,
+    set_cache: RefCell<HashMap<ConstraintSet, Arc<[u32]>>>,
+    single_cache: RefCell<HashMap<Constraint, Arc<[u32]>>>,
+}
+
+impl FeasibilityIndex {
+    /// Builds an index over a machine population.
+    pub fn new(machines: Vec<AttributeVector>) -> Self {
+        FeasibilityIndex {
+            machines,
+            set_cache: RefCell::new(HashMap::new()),
+            single_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The machine population, by worker index.
+    pub fn machines(&self) -> &[AttributeVector] {
+        &self.machines
+    }
+
+    /// Number of machines in the population.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Direct feasibility check for one worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range for the population.
+    pub fn is_feasible(&self, worker: u32, set: &ConstraintSet) -> bool {
+        set.satisfied_by(&self.machines[worker as usize])
+    }
+
+    /// All workers satisfying `set`, as a shared sorted slice.
+    ///
+    /// The first query for a given set performs a full population scan;
+    /// subsequent queries are O(1).
+    pub fn feasible(&self, set: &ConstraintSet) -> Arc<[u32]> {
+        if let Some(hit) = self.set_cache.borrow().get(set) {
+            return Arc::clone(hit);
+        }
+        let ids: Arc<[u32]> = self
+            .machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| set.satisfied_by(m))
+            .map(|(i, _)| i as u32)
+            .collect();
+        self.set_cache
+            .borrow_mut()
+            .insert(set.clone(), Arc::clone(&ids));
+        ids
+    }
+
+    /// All workers satisfying a single constraint, cached.
+    pub fn feasible_single(&self, constraint: &Constraint) -> Arc<[u32]> {
+        if let Some(hit) = self.single_cache.borrow().get(constraint) {
+            return Arc::clone(hit);
+        }
+        let ids: Arc<[u32]> = self
+            .machines
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| constraint.satisfied_by(m))
+            .map(|(i, _)| i as u32)
+            .collect();
+        self.single_cache
+            .borrow_mut()
+            .insert(*constraint, Arc::clone(&ids));
+        ids
+    }
+
+    /// Number of workers satisfying `set`.
+    pub fn count_feasible(&self, set: &ConstraintSet) -> usize {
+        self.feasible(set).len()
+    }
+
+    /// Samples up to `k` *distinct* feasible workers uniformly at random,
+    /// skipping workers for which `exclude` returns true.
+    ///
+    /// Uses rejection sampling against the whole population first (cheap for
+    /// permissive sets) and falls back to an exact scan for selective sets.
+    /// Returns fewer than `k` workers when fewer feasible non-excluded
+    /// workers exist.
+    pub fn sample_feasible<R: Rng + ?Sized>(
+        &self,
+        set: &ConstraintSet,
+        k: usize,
+        rng: &mut R,
+        mut exclude: impl FnMut(u32) -> bool,
+    ) -> Vec<u32> {
+        if k == 0 || self.machines.is_empty() {
+            return Vec::new();
+        }
+        let n = self.machines.len();
+        let mut picked: Vec<u32> = Vec::with_capacity(k);
+        // Rejection phase: a few tries per requested sample.
+        let budget = k * 6 + 16;
+        for _ in 0..budget {
+            if picked.len() == k {
+                return picked;
+            }
+            let idx = rng.random_range(0..n) as u32;
+            if picked.contains(&idx) || exclude(idx) {
+                continue;
+            }
+            if set.satisfied_by(&self.machines[idx as usize]) {
+                picked.push(idx);
+            }
+        }
+        if picked.len() == k {
+            return picked;
+        }
+        // Exact phase: sample without replacement from the cached feasible
+        // list.
+        let feasible = self.feasible(set);
+        let mut pool: Vec<u32> = feasible
+            .iter()
+            .copied()
+            .filter(|w| !picked.contains(w) && !exclude(*w))
+            .collect();
+        pool.shuffle(rng);
+        for w in pool {
+            if picked.len() == k {
+                break;
+            }
+            picked.push(w);
+        }
+        picked
+    }
+
+    /// Per-kind population supply: for each constraint kind, how many
+    /// machines satisfy `probe`'s constraint of that kind (if present).
+    ///
+    /// Useful for seeding the `CRV_Lookup_Table` supply side.
+    pub fn kind_supply(&self, set: &ConstraintSet) -> Vec<(ConstraintKind, usize)> {
+        set.iter()
+            .map(|c| (c.kind, self.feasible_single(c).len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Isa;
+    use crate::constraint::ConstraintOp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn population() -> Vec<AttributeVector> {
+        (0..100u32)
+            .map(|i| {
+                AttributeVector::builder()
+                    .isa(if i % 10 == 0 { Isa::Arm } else { Isa::X86 })
+                    .num_cores(if i < 50 { 8 } else { 32 })
+                    .build()
+            })
+            .collect()
+    }
+
+    fn big_cores() -> ConstraintSet {
+        ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            16,
+        )])
+    }
+
+    #[test]
+    fn feasible_fraction_counts_exactly() {
+        let pop = population();
+        assert!((feasible_fraction(&pop, &big_cores()) - 0.5).abs() < 1e-12);
+        assert_eq!(feasible_fraction(&[], &big_cores()), 0.0);
+        assert_eq!(
+            feasible_fraction(&pop, &ConstraintSet::unconstrained()),
+            1.0
+        );
+    }
+
+    #[test]
+    fn feasible_lists_are_cached_and_correct() {
+        let index = FeasibilityIndex::new(population());
+        let a = index.feasible(&big_cores());
+        let b = index.feasible(&big_cores());
+        assert!(Arc::ptr_eq(&a, &b), "second query must hit the cache");
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().all(|&w| w >= 50));
+    }
+
+    #[test]
+    fn single_constraint_cache_counts() {
+        let index = FeasibilityIndex::new(population());
+        let arm = Constraint::hard(
+            ConstraintKind::Architecture,
+            ConstraintOp::Eq,
+            Isa::Arm as u64,
+        );
+        assert_eq!(index.feasible_single(&arm).len(), 10);
+        let supply = index.kind_supply(&ConstraintSet::from_constraints(vec![arm]));
+        assert_eq!(supply, vec![(ConstraintKind::Architecture, 10)]);
+    }
+
+    #[test]
+    fn sampling_returns_distinct_feasible_workers() {
+        let index = FeasibilityIndex::new(population());
+        let mut rng = StdRng::seed_from_u64(7);
+        let sample = index.sample_feasible(&big_cores(), 20, &mut rng, |_| false);
+        assert_eq!(sample.len(), 20);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "samples must be distinct");
+        assert!(sample.iter().all(|&w| w >= 50), "must be feasible");
+    }
+
+    #[test]
+    fn sampling_respects_exclusion_and_small_pools() {
+        let index = FeasibilityIndex::new(population());
+        let mut rng = StdRng::seed_from_u64(9);
+        // Exclude everything except worker 99.
+        let sample = index.sample_feasible(&big_cores(), 5, &mut rng, |w| w != 99);
+        assert_eq!(sample, vec![99]);
+    }
+
+    #[test]
+    fn sampling_more_than_available_returns_all() {
+        let index = FeasibilityIndex::new(population());
+        let mut rng = StdRng::seed_from_u64(11);
+        let arm_set = ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::Architecture,
+            ConstraintOp::Eq,
+            Isa::Arm as u64,
+        )]);
+        let sample = index.sample_feasible(&arm_set, 50, &mut rng, |_| false);
+        assert_eq!(sample.len(), 10);
+    }
+
+    #[test]
+    fn sampling_zero_or_empty_population() {
+        let index = FeasibilityIndex::new(population());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(index
+            .sample_feasible(&big_cores(), 0, &mut rng, |_| false)
+            .is_empty());
+        let empty = FeasibilityIndex::new(Vec::new());
+        assert!(empty
+            .sample_feasible(&big_cores(), 3, &mut rng, |_| false)
+            .is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn infeasible_set_yields_empty_everything() {
+        let index = FeasibilityIndex::new(population());
+        let impossible = ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            1_000,
+        )]);
+        assert_eq!(index.count_feasible(&impossible), 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(index
+            .sample_feasible(&impossible, 4, &mut rng, |_| false)
+            .is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Heterogeneous machine population generation (the supply side of Fig. 6).
+//!
+//! The Phoenix evaluation runs on clusters of 5,000–19,000 heterogeneous
+//! workers. A [`PopulationProfile`] describes the marginal distribution of
+//! every machine attribute; [`MachinePopulation::generate`] draws a concrete
+//! cluster from it, deterministic under a seeded RNG.
+
+use rand::Rng;
+
+use crate::attr::{AttributeVector, Isa, PlatformFamily};
+
+/// A weighted choice table: `(value, weight)` pairs.
+///
+/// Weights need not sum to 1; they are normalized on sampling.
+pub type Weighted<T> = Vec<(T, f64)>;
+
+/// Samples from a weighted table.
+///
+/// # Panics
+///
+/// Panics if `table` is empty or its total weight is non-positive.
+pub fn weighted_pick<T: Copy, R: Rng + ?Sized>(table: &[(T, f64)], rng: &mut R) -> T {
+    assert!(!table.is_empty(), "weighted table must be non-empty");
+    let total: f64 = table.iter().map(|(_, w)| *w).sum();
+    assert!(
+        total > 0.0,
+        "weighted table must have positive total weight"
+    );
+    let mut x = rng.random::<f64>() * total;
+    for (v, w) in table {
+        x -= w;
+        if x <= 0.0 {
+            return *v;
+        }
+    }
+    table[table.len() - 1].0
+}
+
+/// Marginal distributions for every machine attribute in a cluster.
+#[derive(Debug, Clone)]
+pub struct PopulationProfile {
+    /// ISA mix.
+    pub isa: Weighted<Isa>,
+    /// Core-count mix.
+    pub num_cores: Weighted<u32>,
+    /// Memory sizes (GB).
+    pub memory_gb: Weighted<u32>,
+    /// Disk counts.
+    pub num_disks: Weighted<u32>,
+    /// NIC speeds (Mbps).
+    pub ethernet_mbps: Weighted<u32>,
+    /// Kernel versions (ordered encoding).
+    pub kernel_version: Weighted<u32>,
+    /// Platform families.
+    pub platform: Weighted<u8>,
+    /// CPU clocks (MHz).
+    pub cpu_clock_mhz: Weighted<u32>,
+    /// Rack sizes; machines are packed into racks drawn from this table.
+    pub rack_size: Weighted<u32>,
+}
+
+impl PopulationProfile {
+    /// A Google-like heterogeneous datacenter mix.
+    ///
+    /// The proportions follow the qualitative description of the Google
+    /// trace: dominated by x86 machines across a handful of platform
+    /// generations, with minority ARM/POWER pools, mixed core counts and a
+    /// long tail of high-end configurations.
+    pub fn google_like() -> Self {
+        PopulationProfile {
+            isa: vec![(Isa::X86, 0.86), (Isa::Arm, 0.09), (Isa::Power, 0.05)],
+            num_cores: vec![(4, 0.25), (8, 0.35), (16, 0.20), (32, 0.15), (64, 0.05)],
+            memory_gb: vec![(16, 0.20), (32, 0.40), (64, 0.25), (128, 0.15)],
+            num_disks: vec![(1, 0.10), (2, 0.20), (4, 0.35), (8, 0.20), (12, 0.15)],
+            ethernet_mbps: vec![(1_000, 0.55), (10_000, 0.35), (40_000, 0.10)],
+            kernel_version: vec![(260, 0.15), (310, 0.35), (318, 0.30), (410, 0.20)],
+            platform: vec![(0, 0.40), (1, 0.30), (2, 0.20), (3, 0.10)],
+            cpu_clock_mhz: vec![
+                (2_000, 0.25),
+                (2_200, 0.30),
+                (2_600, 0.25),
+                (3_000, 0.15),
+                (3_500, 0.05),
+            ],
+            rack_size: vec![(20, 0.30), (40, 0.50), (80, 0.20)],
+        }
+    }
+
+    /// A more uniform enterprise cluster (used for the Yahoo/Cloudera
+    /// profiles): fewer platform generations, dominated by x86 but keeping
+    /// small minority pools of every machine class the constraint model can
+    /// request (the paper embeds the *Google* constraint model into these
+    /// traces, so their clusters must be able to satisfy it).
+    pub fn enterprise_like() -> Self {
+        PopulationProfile {
+            isa: vec![(Isa::X86, 0.92), (Isa::Arm, 0.055), (Isa::Power, 0.025)],
+            num_cores: vec![(8, 0.35), (16, 0.35), (32, 0.25), (64, 0.05)],
+            memory_gb: vec![(32, 0.40), (64, 0.40), (128, 0.20)],
+            num_disks: vec![(1, 0.05), (2, 0.20), (4, 0.40), (8, 0.20), (12, 0.15)],
+            ethernet_mbps: vec![(1_000, 0.60), (10_000, 0.30), (40_000, 0.10)],
+            kernel_version: vec![(310, 0.40), (318, 0.40), (410, 0.20)],
+            platform: vec![(0, 0.45), (1, 0.30), (2, 0.15), (3, 0.10)],
+            cpu_clock_mhz: vec![(2_200, 0.35), (2_600, 0.35), (3_000, 0.25), (3_500, 0.05)],
+            rack_size: vec![(20, 0.30), (40, 0.50), (80, 0.20)],
+        }
+    }
+}
+
+impl Default for PopulationProfile {
+    fn default() -> Self {
+        Self::google_like()
+    }
+}
+
+/// A generated cluster: the machine attribute vectors plus the profile that
+/// produced them.
+#[derive(Debug, Clone)]
+pub struct MachinePopulation {
+    machines: Vec<AttributeVector>,
+    profile: PopulationProfile,
+}
+
+impl MachinePopulation {
+    /// Draws `n` machines from `profile`, packing them into racks.
+    pub fn generate<R: Rng + ?Sized>(profile: PopulationProfile, n: usize, rng: &mut R) -> Self {
+        let mut machines = Vec::with_capacity(n);
+        let mut rack_id = 0u32;
+        let mut remaining_in_rack = 0u32;
+        let mut current_rack_size = 0u32;
+        for _ in 0..n {
+            if remaining_in_rack == 0 {
+                current_rack_size = weighted_pick(&profile.rack_size, rng);
+                remaining_in_rack = current_rack_size;
+                rack_id += 1;
+            }
+            remaining_in_rack -= 1;
+            machines.push(AttributeVector {
+                isa: weighted_pick(&profile.isa, rng),
+                num_cores: weighted_pick(&profile.num_cores, rng),
+                memory_gb: weighted_pick(&profile.memory_gb, rng),
+                num_disks: weighted_pick(&profile.num_disks, rng),
+                ethernet_mbps: weighted_pick(&profile.ethernet_mbps, rng),
+                kernel_version: weighted_pick(&profile.kernel_version, rng),
+                platform: PlatformFamily(weighted_pick(&profile.platform, rng)),
+                cpu_clock_mhz: weighted_pick(&profile.cpu_clock_mhz, rng),
+                rack: rack_id - 1,
+                rack_size: current_rack_size,
+            });
+        }
+        MachinePopulation { machines, profile }
+    }
+
+    /// The generated machines (worker index order).
+    pub fn machines(&self) -> &[AttributeVector] {
+        &self.machines
+    }
+
+    /// Consumes the population, returning the machine list.
+    pub fn into_machines(self) -> Vec<AttributeVector> {
+        self.machines
+    }
+
+    /// The profile the population was drawn from.
+    pub fn profile(&self) -> &PopulationProfile {
+        &self.profile
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let p1 = MachinePopulation::generate(PopulationProfile::google_like(), 500, &mut a);
+        let p2 = MachinePopulation::generate(PopulationProfile::google_like(), 500, &mut b);
+        assert_eq!(p1.machines(), p2.machines());
+    }
+
+    #[test]
+    fn population_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = MachinePopulation::generate(PopulationProfile::enterprise_like(), 1234, &mut rng);
+        assert_eq!(p.len(), 1234);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn isa_mix_tracks_profile_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = MachinePopulation::generate(PopulationProfile::google_like(), 20_000, &mut rng);
+        let x86 = p.machines().iter().filter(|m| m.isa == Isa::X86).count() as f64 / p.len() as f64;
+        assert!(
+            (x86 - 0.86).abs() < 0.02,
+            "x86 share {x86} should be near 0.86"
+        );
+    }
+
+    #[test]
+    fn racks_are_contiguous_and_sized_consistently() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = MachinePopulation::generate(PopulationProfile::google_like(), 2_000, &mut rng);
+        let machines = p.machines();
+        // Machines in the same rack share rack_size; rack ids are
+        // non-decreasing in generation order.
+        for w in machines.windows(2) {
+            assert!(w[1].rack >= w[0].rack);
+            if w[0].rack == w[1].rack {
+                assert_eq!(w[0].rack_size, w[1].rack_size);
+            }
+        }
+        // No rack exceeds its declared size.
+        let max_rack = machines.last().unwrap().rack;
+        for r in 0..=max_rack {
+            let members: Vec<_> = machines.iter().filter(|m| m.rack == r).collect();
+            if let Some(first) = members.first() {
+                assert!(members.len() as u32 <= first.rack_size);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_pick_respects_degenerate_table() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..32 {
+            assert_eq!(weighted_pick(&[(9u32, 1.0)], &mut rng), 9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_pick_rejects_empty_table() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: Vec<(u32, f64)> = Vec::new();
+        let _ = weighted_pick(&empty, &mut rng);
+    }
+}

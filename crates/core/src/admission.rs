@@ -1,0 +1,246 @@
+//! Proactive admission control: soft-constraint negotiation.
+//!
+//! When a job arrives whose full constraint set no worker can satisfy,
+//! Phoenix *negotiates*: soft constraints are relaxed one at a time — the
+//! most contended kind first, guided by the CRV lookup table — until
+//! feasible workers appear (§IV, contribution 2). Tasks placed with relaxed
+//! constraints run with the Table-II slowdown of the dropped kinds.
+//! Hard constraints are never relaxed; a job whose hard subset is
+//! unsatisfiable is failed.
+
+use phoenix_constraints::{ConstraintModel, ConstraintSet, CrvTable};
+use phoenix_schedulers::Placement;
+use phoenix_sim::SimCtx;
+
+/// Outcome of a negotiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Negotiation {
+    /// The placement to use.
+    pub placement: Placement,
+    /// The effective constraint set after relaxation (equal to the input
+    /// set when nothing was relaxed).
+    pub effective: ConstraintSet,
+    /// Number of soft constraints dropped.
+    pub relaxed: usize,
+}
+
+/// Negotiates placement targets for `set`, relaxing soft constraints in
+/// descending order of CRV contention until feasible workers exist.
+/// Returns `None` when even the hard subset is unsatisfiable.
+///
+/// `exclude` marks workers to avoid (advisory — ignored when it would make
+/// placement impossible).
+pub fn negotiate_targets(
+    ctx: &mut SimCtx<'_>,
+    set: &ConstraintSet,
+    count: usize,
+    table: &CrvTable,
+    mut exclude: impl FnMut(u32) -> bool,
+) -> Option<Negotiation> {
+    let mut current = set.clone();
+    let mut relaxed = 0usize;
+    let mut slowdown = 1.0f64;
+    loop {
+        if ctx.feasibility().count_feasible(&current) > 0 {
+            let mut targets = ctx.sample_feasible_workers_excluding(&current, count, &mut exclude);
+            if targets.is_empty() {
+                targets = ctx.sample_feasible_workers(&current, count);
+            }
+            debug_assert!(!targets.is_empty());
+            let placement = if relaxed == 0 {
+                Placement::Full(targets)
+            } else {
+                Placement::HardOnly(targets, slowdown)
+            };
+            return Some(Negotiation {
+                placement,
+                effective: current,
+                relaxed,
+            });
+        }
+        // Pick the soft constraint with the most contended kind.
+        let victim = current
+            .soft_constraints()
+            .max_by(|a, b| {
+                let ra = table.ratio(a.kind);
+                let rb = table.ratio(b.kind);
+                ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .copied();
+        let Some(victim) = victim else {
+            // Nothing left to relax and still infeasible.
+            return None;
+        };
+        slowdown = slowdown.max(ConstraintModel::relative_slowdown(victim.kind));
+        current = current
+            .relax_constraint(&victim)
+            .expect("victim is a soft constraint of the set");
+        relaxed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_constraints::{
+        AttributeVector, Constraint, ConstraintKind, ConstraintOp, FeasibilityIndex, Isa,
+    };
+    use phoenix_sim::{Scheduler, SimConfig, Simulation};
+    use phoenix_traces::{Job, JobId, Trace};
+
+    /// A probe scheduler that records negotiation outcomes.
+    #[derive(Debug, Default)]
+    struct Recorder {
+        outcomes: Vec<Option<(usize, f64)>>,
+    }
+
+    impl Scheduler for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+
+        fn on_job_arrival(&mut self, job: JobId, ctx: &mut phoenix_sim::SimCtx<'_>) {
+            let set = ctx.job(job).constraints.clone();
+            let table = CrvTable::new();
+            match negotiate_targets(ctx, &set, 2, &table, |_| false) {
+                Some(n) => {
+                    self.outcomes
+                        .push(Some((n.relaxed, n.placement.slowdown())));
+                    let effective = n.effective;
+                    ctx.job_mut(job).effective_constraints = effective;
+                    let worker = n.placement.workers()[0];
+                    let mut probe = ctx.new_probe(job);
+                    probe.slowdown = n.placement.slowdown();
+                    ctx.send_probe(worker, probe);
+                }
+                None => {
+                    self.outcomes.push(None);
+                    ctx.fail_job(job);
+                }
+            }
+        }
+    }
+
+    /// Cluster: 4 identical x86 8-core machines at 2.2 GHz.
+    fn uniform_cluster() -> Vec<AttributeVector> {
+        (0..4).map(|_| AttributeVector::default()).collect()
+    }
+
+    fn run_with(
+        constraints: Vec<Constraint>,
+    ) -> (phoenix_sim::SimResult, Vec<Option<(usize, f64)>>) {
+        let set = ConstraintSet::from_constraints(constraints);
+        let jobs = vec![Job {
+            id: JobId(0),
+            arrival_s: 0.0,
+            task_durations_s: vec![1.0],
+            estimated_task_duration_s: 1.0,
+            constraints: set,
+            short: true,
+            user: 0,
+        }];
+        let sim = Simulation::new(
+            SimConfig::default(),
+            FeasibilityIndex::new(uniform_cluster()),
+            &Trace::new("t", jobs),
+            Box::new(Recorder::default()),
+            1,
+        );
+        // Scheduler is moved in; outcomes inspected via counters instead.
+        let result = sim.run();
+        // Recorder is consumed by the run; reconstruct expectations from
+        // counters where needed. For direct outcome checks, re-run below.
+        (result, Vec::new())
+    }
+
+    #[test]
+    fn satisfiable_set_needs_no_relaxation() {
+        let (result, _) = run_with(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            4,
+        )]);
+        assert_eq!(result.counters.jobs_completed, 1);
+        assert_eq!(result.counters.relaxed_tasks, 0);
+    }
+
+    #[test]
+    fn soft_constraint_is_negotiated_away() {
+        // Clock > 3000 is unsatisfiable on the 2.2 GHz cluster but soft.
+        let (result, _) = run_with(vec![
+            Constraint::hard(ConstraintKind::NumCores, ConstraintOp::Gt, 4),
+            Constraint::soft(ConstraintKind::CpuClockSpeed, ConstraintOp::Gt, 3_000),
+        ]);
+        assert_eq!(result.counters.jobs_completed, 1);
+        assert_eq!(result.counters.jobs_failed, 0);
+        assert_eq!(
+            result.counters.relaxed_tasks, 1,
+            "task must run with a relaxation slowdown"
+        );
+    }
+
+    #[test]
+    fn hard_unsatisfiable_job_fails() {
+        let (result, _) = run_with(vec![Constraint::hard(
+            ConstraintKind::Architecture,
+            ConstraintOp::Eq,
+            Isa::Power as u64,
+        )]);
+        assert_eq!(result.counters.jobs_failed, 1);
+        assert_eq!(result.counters.jobs_completed, 0);
+    }
+
+    #[test]
+    fn most_contended_soft_constraint_is_relaxed_first() {
+        // Direct unit-level check of victim ordering.
+        let set = ConstraintSet::from_constraints(vec![
+            Constraint::soft(ConstraintKind::CpuClockSpeed, ConstraintOp::Gt, 9_999),
+            Constraint::soft(ConstraintKind::EthernetSpeed, ConstraintOp::Gt, 999_999),
+        ]);
+        let mut table = CrvTable::new();
+        table.add_demand(ConstraintKind::EthernetSpeed, 100.0);
+        table.set_supply(ConstraintKind::EthernetSpeed, 1.0);
+        table.add_demand(ConstraintKind::CpuClockSpeed, 1.0);
+        table.set_supply(ConstraintKind::CpuClockSpeed, 100.0);
+        // Relax order: ethernet (ratio 100) before clock (0.01). Both are
+        // unsatisfiable here, so both get relaxed; the negotiation must
+        // terminate with the empty set (feasible on any cluster).
+        let jobs = vec![Job {
+            id: JobId(0),
+            arrival_s: 0.0,
+            task_durations_s: vec![1.0],
+            estimated_task_duration_s: 1.0,
+            constraints: set.clone(),
+            short: true,
+            user: 0,
+        }];
+        #[derive(Debug)]
+        struct Check {
+            table: CrvTable,
+            set: ConstraintSet,
+        }
+        impl Scheduler for Check {
+            fn name(&self) -> &str {
+                "check"
+            }
+            fn on_job_arrival(&mut self, job: JobId, ctx: &mut phoenix_sim::SimCtx<'_>) {
+                let n = negotiate_targets(ctx, &self.set, 1, &self.table, |_| false)
+                    .expect("empty set is always feasible");
+                assert_eq!(n.relaxed, 2);
+                assert!(n.effective.is_empty());
+                // Slowdown is the max of both kinds: ethernet 1.91.
+                assert!((n.placement.slowdown() - 1.91).abs() < 1e-9);
+                ctx.fail_job(job); // end the run quickly
+            }
+        }
+        let sim = Simulation::new(
+            SimConfig::default(),
+            FeasibilityIndex::new(uniform_cluster()),
+            &Trace::new("t", jobs),
+            Box::new(Check { table, set }),
+            1,
+        );
+        let result = sim.run();
+        assert_eq!(result.counters.jobs_failed, 1);
+    }
+}

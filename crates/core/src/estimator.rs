@@ -1,0 +1,287 @@
+//! Pollaczek–Khinchine M/G/1 waiting-time estimation (Equation 1).
+//!
+//! Phoenix estimates each worker queue's expected wait
+//!
+//! ```text
+//! E[W] = ρ/(1−ρ) · E[S²] / (2·E[S])
+//! ```
+//!
+//! where `ρ = λ·E[S]` is the offered load, `λ` the observed probe arrival
+//! rate and `S` the observed service times (§IV-A: "μ ← Avg(last serviced
+//! tasks); λ ← Avg(inter arrival rate)"). Statistics come from sliding
+//! windows of the most recent observations per worker.
+
+use phoenix_sim::{SimDuration, SimTime, WorkerId};
+
+/// Window length: how many recent observations feed each estimate.
+const WINDOW: usize = 16;
+
+/// A bounded window of recent samples with mean / second-moment queries.
+#[derive(Debug, Clone)]
+struct SampleWindow {
+    samples: [f64; WINDOW],
+    len: usize,
+    next: usize,
+}
+
+impl SampleWindow {
+    fn new() -> Self {
+        SampleWindow {
+            samples: [0.0; WINDOW],
+            len: 0,
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.samples[self.next] = x;
+        self.next = (self.next + 1) % WINDOW;
+        self.len = (self.len + 1).min(WINDOW);
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(self.samples[..self.len].iter().sum::<f64>() / self.len as f64)
+    }
+
+    fn second_moment(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(self.samples[..self.len].iter().map(|x| x * x).sum::<f64>() / self.len as f64)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WorkerStats {
+    last_arrival: Option<SimTime>,
+    inter_arrivals: SampleWindow,
+    services: SampleWindow,
+}
+
+impl WorkerStats {
+    fn new() -> Self {
+        WorkerStats {
+            last_arrival: None,
+            inter_arrivals: SampleWindow::new(),
+            services: SampleWindow::new(),
+        }
+    }
+}
+
+/// Per-worker P-K waiting-time estimator.
+#[derive(Debug, Clone)]
+pub struct WaitEstimator {
+    workers: Vec<WorkerStats>,
+    /// Load cap: ρ is clamped below 1 so the estimate stays finite; queues
+    /// observed above saturation simply report a very large wait.
+    rho_cap: f64,
+}
+
+impl WaitEstimator {
+    /// Creates an estimator for `n` workers.
+    pub fn new(n: usize) -> Self {
+        WaitEstimator {
+            workers: (0..n).map(|_| WorkerStats::new()).collect(),
+            rho_cap: 0.999,
+        }
+    }
+
+    /// Number of workers tracked.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the estimator tracks zero workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Records a probe/task arrival at `worker`.
+    pub fn record_arrival(&mut self, worker: WorkerId, now: SimTime) {
+        let s = &mut self.workers[worker.index()];
+        if let Some(last) = s.last_arrival {
+            s.inter_arrivals.push(now.since(last).as_secs_f64());
+        }
+        s.last_arrival = Some(now);
+    }
+
+    /// Records a completed service of `duration` at `worker`.
+    pub fn record_service(&mut self, worker: WorkerId, duration: SimDuration) {
+        self.workers[worker.index()]
+            .services
+            .push(duration.as_secs_f64());
+    }
+
+    /// The offered load `ρ = λ·E[S]` observed at `worker`, clamped to the
+    /// estimator's cap. `None` until both windows have data.
+    pub fn rho(&self, worker: WorkerId) -> Option<f64> {
+        let s = &self.workers[worker.index()];
+        let mean_gap = s.inter_arrivals.mean()?;
+        let mean_service = s.services.mean()?;
+        if mean_gap <= 0.0 {
+            return Some(self.rho_cap);
+        }
+        Some((mean_service / mean_gap).min(self.rho_cap))
+    }
+
+    /// The P-K expected waiting time at `worker` (Equation 1), or `None`
+    /// until enough observations exist.
+    pub fn expected_wait(&self, worker: WorkerId) -> Option<SimDuration> {
+        let s = &self.workers[worker.index()];
+        let rho = self.rho(worker)?;
+        let es = s.services.mean()?;
+        let es2 = s.services.second_moment()?;
+        if es <= 0.0 {
+            return Some(SimDuration::ZERO);
+        }
+        let wait = rho / (1.0 - rho) * es2 / (2.0 * es);
+        Some(SimDuration::from_secs_f64(wait))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(est: &mut WaitEstimator, gap_s: f64, service_s: f64, n: usize) {
+        let w = WorkerId(0);
+        let mut t = SimTime::ZERO;
+        for _ in 0..n {
+            est.record_arrival(w, t);
+            est.record_service(w, SimDuration::from_secs_f64(service_s));
+            t += SimDuration::from_secs_f64(gap_s);
+        }
+    }
+
+    #[test]
+    fn no_data_yields_none() {
+        let est = WaitEstimator::new(2);
+        assert!(est.expected_wait(WorkerId(0)).is_none());
+        assert!(est.rho(WorkerId(1)).is_none());
+    }
+
+    #[test]
+    fn deterministic_arrivals_match_md1_closed_form() {
+        // Deterministic service S, deterministic gaps: E[S²] = S², so
+        // E[W] = ρ/(1-ρ) · S/2.
+        let mut est = WaitEstimator::new(1);
+        feed(&mut est, 2.0, 1.0, 32);
+        let rho = est.rho(WorkerId(0)).unwrap();
+        assert!((rho - 0.5).abs() < 1e-9);
+        let w = est.expected_wait(WorkerId(0)).unwrap().as_secs_f64();
+        assert!((w - 0.5).abs() < 1e-6, "E[W] {w} != 0.5");
+    }
+
+    #[test]
+    fn heavier_load_waits_longer() {
+        let mut light = WaitEstimator::new(1);
+        feed(&mut light, 4.0, 1.0, 32);
+        let mut heavy = WaitEstimator::new(1);
+        feed(&mut heavy, 1.25, 1.0, 32);
+        let wl = light.expected_wait(WorkerId(0)).unwrap();
+        let wh = heavy.expected_wait(WorkerId(0)).unwrap();
+        assert!(wh > wl, "heavier load must wait longer: {wh} vs {wl}");
+    }
+
+    #[test]
+    fn saturation_is_capped_not_infinite() {
+        let mut est = WaitEstimator::new(1);
+        // Arrivals faster than service: ρ would exceed 1.
+        feed(&mut est, 0.5, 2.0, 32);
+        let rho = est.rho(WorkerId(0)).unwrap();
+        assert!(rho < 1.0);
+        let w = est.expected_wait(WorkerId(0)).unwrap();
+        assert!(w.as_secs_f64() > 100.0, "saturated queue reports huge wait");
+        assert!(w.as_secs_f64().is_finite());
+    }
+
+    #[test]
+    fn variance_increases_wait_at_equal_load() {
+        // Same mean service and load, but bimodal service times have a
+        // larger second moment → longer P-K wait.
+        let w = WorkerId(0);
+        let mut uniform = WaitEstimator::new(1);
+        feed(&mut uniform, 2.0, 1.0, 32);
+        let mut bimodal = WaitEstimator::new(1);
+        let mut t = SimTime::ZERO;
+        for i in 0..32 {
+            bimodal.record_arrival(w, t);
+            let s = if i % 2 == 0 { 0.1 } else { 1.9 };
+            bimodal.record_service(w, SimDuration::from_secs_f64(s));
+            t += SimDuration::from_secs_f64(2.0);
+        }
+        let wu = uniform.expected_wait(w).unwrap();
+        let wb = bimodal.expected_wait(w).unwrap();
+        assert!(wb > wu, "variance must increase wait: {wb} vs {wu}");
+    }
+
+    #[test]
+    fn window_is_sliding() {
+        let mut est = WaitEstimator::new(1);
+        // Old slow services scroll out of the window.
+        feed(&mut est, 2.0, 10.0, WINDOW);
+        feed(&mut est, 2.0, 0.1, WINDOW);
+        let rho = est.rho(WorkerId(0)).unwrap();
+        assert!(rho < 0.1, "old samples must be forgotten, rho {rho}");
+    }
+}
+
+#[cfg(test)]
+mod estimator_property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// E[W] is monotone in offered load for fixed service-time shape.
+        #[test]
+        fn wait_is_monotone_in_load(
+            service_s in 0.5f64..50.0,
+            gap_fast in 0.1f64..0.9,
+        ) {
+            // gap_fast scales the service time: rho = service/gap.
+            let w = WorkerId(0);
+            let feed = |gap: f64| {
+                let mut est = WaitEstimator::new(1);
+                let mut t = SimTime::ZERO;
+                for _ in 0..32 {
+                    est.record_arrival(w, t);
+                    est.record_service(w, SimDuration::from_secs_f64(service_s));
+                    t += SimDuration::from_secs_f64(gap);
+                }
+                est.expected_wait(w).expect("fed").as_secs_f64()
+            };
+            // Light load: gap = service / 0.3; heavier: gap = service / gap_fast'
+            let light = feed(service_s / 0.3);
+            let heavy = feed(service_s / (0.3 + gap_fast * 0.6));
+            prop_assert!(heavy >= light, "heavy {heavy} < light {light}");
+        }
+
+        /// The estimate matches the closed-form P-K value for deterministic
+        /// arrivals and services.
+        #[test]
+        fn matches_closed_form_pk(
+            service_s in 0.5f64..20.0,
+            rho in 0.05f64..0.9,
+        ) {
+            let w = WorkerId(0);
+            let gap = service_s / rho;
+            let mut est = WaitEstimator::new(1);
+            let mut t = SimTime::ZERO;
+            for _ in 0..32 {
+                est.record_arrival(w, t);
+                est.record_service(w, SimDuration::from_secs_f64(service_s));
+                t += SimDuration::from_secs_f64(gap);
+            }
+            let measured = est.expected_wait(w).expect("fed").as_secs_f64();
+            // Deterministic S: E[W] = rho/(1-rho) * S/2.
+            let theory = rho / (1.0 - rho) * service_s / 2.0;
+            prop_assert!(
+                (measured - theory).abs() <= theory * 0.01 + 1e-6,
+                "measured {measured} vs theory {theory}"
+            );
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The CRV monitor: per-heartbeat demand/supply accounting
+//! (`CRV_Monitor` + `CRV_Lookup_Table` of Fig. 5).
+
+use std::collections::HashMap;
+
+use phoenix_constraints::{Constraint, ConstraintKind, Crv, CrvTable};
+use phoenix_sim::SimState;
+
+/// Snapshot statistics produced by one monitor refresh.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorSnapshot {
+    /// Total queued probes inspected.
+    pub queued_probes: usize,
+    /// Queued probes belonging to constrained jobs.
+    pub constrained_probes: usize,
+    /// Idle workers at refresh time.
+    pub idle_workers: usize,
+}
+
+/// The CRV monitor.
+///
+/// Every heartbeat it scans worker queues to measure per-constraint-kind
+/// *demand* (queued tasks of constrained jobs asking for the resource) and
+/// *supply* (idle workers able to satisfy the queued constraint instances of
+/// that kind), maintains the `CRV_Lookup_Table`, and exposes the aggregated
+/// six-dimensional CRV ratio vector.
+#[derive(Debug, Clone, Default)]
+pub struct CrvMonitor {
+    table: CrvTable,
+    crv: Crv,
+    snapshot: MonitorSnapshot,
+}
+
+impl CrvMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lookup table from the latest refresh.
+    pub fn table(&self) -> &CrvTable {
+        &self.table
+    }
+
+    /// The aggregated CRV ratio vector from the latest refresh.
+    pub fn crv(&self) -> Crv {
+        self.crv
+    }
+
+    /// Statistics of the latest refresh.
+    pub fn snapshot(&self) -> &MonitorSnapshot {
+        &self.snapshot
+    }
+
+    /// The most contended kind and its demand/supply ratio.
+    pub fn max_ratio(&self) -> (ConstraintKind, f64) {
+        self.table.max_ratio()
+    }
+
+    /// Refreshes the table from live simulation state.
+    ///
+    /// Demand: one unit per queued probe per constraint of its job's
+    /// effective set. Supply: per kind, the number of *idle* workers
+    /// satisfying at least one queued constraint instance of that kind.
+    pub fn refresh(&mut self, state: &SimState) {
+        self.table.reset_demand();
+        let mut snapshot = MonitorSnapshot::default();
+
+        // Pass 1: demand and the distinct constraint instances per kind.
+        let mut instances: HashMap<Constraint, ()> = HashMap::new();
+        for worker in &state.workers {
+            for probe in worker.queue() {
+                snapshot.queued_probes += 1;
+                let job = &state.jobs[probe.job.0 as usize];
+                let set = &job.effective_constraints;
+                if set.is_unconstrained() {
+                    continue;
+                }
+                snapshot.constrained_probes += 1;
+                for c in set.iter() {
+                    self.table.add_demand(c.kind, 1.0);
+                    instances.entry(*c).or_insert(());
+                }
+            }
+        }
+
+        // Pass 2: idle workers.
+        let idle: Vec<bool> = state.workers.iter().map(|w| w.is_idle()).collect();
+        snapshot.idle_workers = idle.iter().filter(|&&b| b).count();
+
+        // Pass 3: supply per kind = idle workers satisfying any queued
+        // instance of that kind.
+        let mut satisfied = vec![0u16; state.workers.len()];
+        let mut kind_mask: Vec<u16> = vec![0; ConstraintKind::COUNT];
+        for (bit, kind) in ConstraintKind::ALL.iter().enumerate() {
+            kind_mask[kind.index()] = 1 << bit;
+        }
+        for constraint in instances.keys() {
+            let mask = kind_mask[constraint.kind.index()];
+            for &w in state.feasibility.feasible_single(constraint).iter() {
+                satisfied[w as usize] |= mask;
+            }
+        }
+        for kind in ConstraintKind::ALL {
+            let mask = kind_mask[kind.index()];
+            let supply = satisfied
+                .iter()
+                .zip(idle.iter())
+                .filter(|&(&s, &i)| i && (s & mask) != 0)
+                .count();
+            self.table.set_supply(kind, supply as f64);
+        }
+
+        self.crv = self.table.to_crv();
+        self.snapshot = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_constraints::{
+        ConstraintOp, ConstraintSet, FeasibilityIndex, MachinePopulation, PopulationProfile,
+    };
+    use phoenix_sim::{Probe, ProbeId, SimConfig, SimTime, Simulation, WorkerId};
+    use phoenix_traces::{Job, JobId, Trace};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn state_with(nodes: usize, constraints: Vec<ConstraintSet>) -> phoenix_sim::SimState {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cluster =
+            MachinePopulation::generate(PopulationProfile::google_like(), nodes, &mut rng);
+        let jobs: Vec<Job> = constraints
+            .into_iter()
+            .enumerate()
+            .map(|(i, set)| Job {
+                id: JobId(i as u32),
+                arrival_s: 0.0,
+                task_durations_s: vec![1.0],
+                estimated_task_duration_s: 1.0,
+                constraints: set,
+                short: true,
+                user: 0,
+            })
+            .collect();
+        let sim = Simulation::new(
+            SimConfig::default(),
+            FeasibilityIndex::new(cluster.into_machines()),
+            &Trace::new("t", jobs),
+            Box::new(phoenix_sim::RandomScheduler::new(1)),
+            1,
+        );
+        sim.into_state_for_tests()
+    }
+
+    fn enqueue(state: &mut phoenix_sim::SimState, worker: u32, job: u32) {
+        state.workers[worker as usize].enqueue(Probe {
+            id: ProbeId(u64::from(job)),
+            job: JobId(job),
+            bound_duration_us: None,
+            slowdown: 1.0,
+            enqueued_at: SimTime::ZERO,
+            bypass_count: 0,
+            migrations: 0,
+        });
+    }
+
+    #[test]
+    fn empty_state_has_zero_ratios() {
+        let mut monitor = CrvMonitor::new();
+        let state = state_with(10, vec![]);
+        monitor.refresh(&state);
+        assert_eq!(monitor.max_ratio().1, 0.0);
+        assert_eq!(monitor.snapshot().queued_probes, 0);
+        assert_eq!(monitor.snapshot().idle_workers, 10);
+    }
+
+    #[test]
+    fn demand_counts_constrained_probes_per_kind() {
+        let set = ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            4,
+        )]);
+        let mut state = state_with(20, vec![set.clone(), set, ConstraintSet::unconstrained()]);
+        enqueue(&mut state, 0, 0);
+        enqueue(&mut state, 1, 1);
+        enqueue(&mut state, 2, 2); // unconstrained
+        let mut monitor = CrvMonitor::new();
+        monitor.refresh(&state);
+        assert_eq!(monitor.table().demand(ConstraintKind::NumCores), 2.0);
+        assert_eq!(monitor.snapshot().queued_probes, 3);
+        assert_eq!(monitor.snapshot().constrained_probes, 2);
+        // Supply: idle workers with > 4 cores exist in a 20-node google mix.
+        assert!(monitor.table().supply(ConstraintKind::NumCores) > 0.0);
+        let (kind, ratio) = monitor.max_ratio();
+        assert_eq!(kind, ConstraintKind::NumCores);
+        assert!(ratio > 0.0);
+    }
+
+    #[test]
+    fn supply_counts_only_idle_satisfying_workers() {
+        let set = ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            4,
+        )]);
+        let mut state = state_with(10, vec![set]);
+        enqueue(&mut state, 0, 0);
+        let mut monitor = CrvMonitor::new();
+        monitor.refresh(&state);
+        let supply_all_idle = monitor.table().supply(ConstraintKind::NumCores);
+        // Make every worker busy: supply must drop to zero.
+        let now = SimTime::ZERO;
+        for i in 0..10u32 {
+            state.workers[i as usize].start_task(
+                phoenix_sim::worker::RunningTask {
+                    job: JobId(0),
+                    finish_at: SimTime::from_secs_f64(100.0),
+                    duration_us: 100_000_000,
+                    bound: false,
+                    seq: u64::from(i),
+                },
+                now,
+            );
+        }
+        monitor.refresh(&state);
+        assert!(supply_all_idle > 0.0);
+        assert_eq!(monitor.table().supply(ConstraintKind::NumCores), 0.0);
+        // Positive demand with zero supply → infinite contention.
+        assert!(monitor.max_ratio().1.is_infinite());
+        let _ = WorkerId(0);
+    }
+
+    #[test]
+    fn crv_vector_tracks_hottest_kind_per_dimension() {
+        let set = ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::KernelVersion,
+            ConstraintOp::Gt,
+            300,
+        )]);
+        let mut state = state_with(30, vec![set]);
+        enqueue(&mut state, 0, 0);
+        let mut monitor = CrvMonitor::new();
+        monitor.refresh(&state);
+        let crv = monitor.crv();
+        assert!(crv[phoenix_constraints::CrvDimension::Os] > 0.0);
+        assert_eq!(crv[phoenix_constraints::CrvDimension::Net], 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Exact sample distributions with percentile and CDF queries.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// One point of an empirical CDF: `fraction` of samples are `<= value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdfPoint {
+    /// Sample value (x axis).
+    pub value: f64,
+    /// Cumulative fraction in `(0, 1]` (y axis).
+    pub fraction: f64,
+}
+
+/// An exact (store-everything) sample distribution.
+///
+/// The simulator records hundreds of thousands of job latencies per run;
+/// storing them exactly keeps tail percentiles faithful, which is the whole
+/// point of the paper. Sorting is deferred and memoized: queries sort once
+/// and reuse the order until the next insertion.
+#[derive(Debug, Clone, Default)]
+pub struct Distribution {
+    samples: Vec<f64>,
+    sorted: Cell<bool>,
+}
+
+impl Distribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a distribution from existing samples.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        Distribution {
+            samples,
+            sorted: Cell::new(false),
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// Non-finite samples are ignored (they would poison percentiles).
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+            self.sorted.set(false);
+        }
+    }
+
+    /// Merges all samples of `other` into `self`.
+    pub fn merge(&mut self, other: &Distribution) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted.set(false);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted.get() {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            self.sorted.set(true);
+        }
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`) with linear interpolation
+    /// between closest ranks. Returns 0.0 for an empty distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 1 {
+            return self.samples[0];
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            let w = rank - lo as f64;
+            self.samples[lo] * (1.0 - w) + self.samples[hi] * w
+        }
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest sample; 0.0 when empty.
+    pub fn max(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        *self.samples.last().expect("non-empty")
+    }
+
+    /// Smallest sample; 0.0 when empty.
+    pub fn min(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        self.samples[0]
+    }
+
+    /// Sample variance (population variance, `N` denominator); 0.0 when
+    /// fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The empirical CDF downsampled to at most `points` evenly spaced
+    /// points (always including the maximum). Empty when no samples.
+    pub fn cdf(&mut self, points: usize) -> Vec<CdfPoint> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let step = (n as f64 / points as f64).max(1.0);
+        let mut out = Vec::with_capacity(points.min(n));
+        let mut i = step;
+        while (i as usize) <= n {
+            let idx = (i as usize).min(n) - 1;
+            out.push(CdfPoint {
+                value: self.samples[idx],
+                fraction: (idx + 1) as f64 / n as f64,
+            });
+            i += step;
+        }
+        if out.last().map(|p| p.fraction < 1.0).unwrap_or(true) {
+            out.push(CdfPoint {
+                value: self.samples[n - 1],
+                fraction: 1.0,
+            });
+        }
+        out
+    }
+
+    /// Fraction of samples `<= value`; 0.0 when empty.
+    pub fn fraction_below(&mut self, value: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.partition_point(|&x| x <= value);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Read-only view of the raw samples (insertion or sorted order,
+    /// whichever is current).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl FromIterator<f64> for Distribution {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut d = Distribution::new();
+        for x in iter {
+            d.record(x);
+        }
+        d
+    }
+}
+
+impl Extend<f64> for Distribution {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = self.clone();
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
+            d.len(),
+            d.mean(),
+            d.percentile(50.0),
+            d.percentile(90.0),
+            d.percentile(99.0),
+            d.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut d: Distribution = (1..=100).map(f64::from).collect();
+        assert_eq!(d.percentile(0.0), 1.0);
+        assert_eq!(d.percentile(100.0), 100.0);
+        assert_eq!(d.percentile(50.0), 50.5);
+        assert!((d.percentile(99.0) - 99.01).abs() < 0.02);
+    }
+
+    #[test]
+    fn empty_distribution_is_all_zero() {
+        let mut d = Distribution::new();
+        assert_eq!(d.percentile(99.0), 0.0);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.max(), 0.0);
+        assert_eq!(d.min(), 0.0);
+        assert!(d.cdf(10).is_empty());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn single_sample_everywhere() {
+        let mut d = Distribution::from_samples(vec![7.0]);
+        assert_eq!(d.percentile(1.0), 7.0);
+        assert_eq!(d.percentile(99.0), 7.0);
+        assert_eq!(d.mean(), 7.0);
+    }
+
+    #[test]
+    fn record_after_query_resorts() {
+        let mut d = Distribution::new();
+        d.record(10.0);
+        assert_eq!(d.max(), 10.0);
+        d.record(20.0);
+        d.record(5.0);
+        assert_eq!(d.max(), 20.0);
+        assert_eq!(d.min(), 5.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let mut d = Distribution::new();
+        d.record(f64::NAN);
+        d.record(f64::INFINITY);
+        d.record(3.0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.mean(), 3.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Distribution::from_samples(vec![1.0, 2.0]);
+        let b = Distribution::from_samples(vec![3.0]);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut d: Distribution = (0..1000).map(|i| f64::from(i % 100)).collect();
+        let cdf = d.cdf(20);
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[1].value >= w[0].value);
+            assert!(w[1].fraction >= w[0].fraction);
+        }
+        assert!((cdf.last().unwrap().fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_smaller_than_requested_points() {
+        let mut d = Distribution::from_samples(vec![1.0, 2.0]);
+        let cdf = d.cdf(50);
+        assert!(cdf.len() <= 3);
+        assert_eq!(cdf.last().unwrap().fraction, 1.0);
+    }
+
+    #[test]
+    fn fraction_below_matches_definition() {
+        let mut d: Distribution = (1..=10).map(f64::from).collect();
+        assert!((d.fraction_below(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.fraction_below(0.0), 0.0);
+        assert_eq!(d.fraction_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let d = Distribution::from_samples(vec![4.0; 10]);
+        assert_eq!(d.variance(), 0.0);
+        let d2 = Distribution::from_samples(vec![1.0, 3.0]);
+        assert!((d2.variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        let mut d = Distribution::from_samples(vec![1.0]);
+        let _ = d.percentile(101.0);
+    }
+
+    #[test]
+    fn display_mentions_count_and_percentiles() {
+        let d = Distribution::from_samples(vec![1.0, 2.0, 3.0]);
+        let s = d.to_string();
+        assert!(s.contains("n=3") && s.contains("p99"), "{s}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Fairness metrics.
+//!
+//! The paper claims Phoenix "does not affect the fairness ... of the other
+//! long and unconstrained jobs" (§I) — the starvation slack bounds how much
+//! any job can be penalized by reordering. We quantify this with Jain's
+//! fairness index over per-job slowdowns.
+
+use crate::distribution::Distribution;
+
+/// Jain's fairness index over a set of non-negative values:
+///
+/// ```text
+/// J = (Σ xᵢ)² / (n · Σ xᵢ²)
+/// ```
+///
+/// `J = 1` when all values are equal; `J → 1/n` when one value dominates.
+/// Returns 0.0 for an empty slice or an all-zero slice.
+pub fn jains_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+/// Jain's index over the samples of a distribution.
+pub fn jains_index_of(d: &Distribution) -> f64 {
+    jains_index(d.samples())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_are_perfectly_fair() {
+        assert!((jains_index(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_dominator_approaches_one_over_n() {
+        let j = jains_index(&[100.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        assert_eq!(jains_index(&[]), 0.0);
+        assert_eq!(jains_index(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        let a = jains_index(&[1.0, 2.0, 3.0]);
+        let b = jains_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_distribution() {
+        let d = Distribution::from_samples(vec![2.0, 2.0]);
+        assert!((jains_index_of(&d) - 1.0).abs() < 1e-12);
+    }
+}

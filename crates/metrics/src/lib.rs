@@ -1,0 +1,45 @@
+//! Metrics for the Phoenix scheduler reproduction.
+//!
+//! The paper's evaluation reports **50th/90th/99th-percentile job response
+//! times**, **CDFs of job queuing times** (Fig. 2), **queuing-delay time
+//! series** (Fig. 3) and **normalized comparisons** between schedulers
+//! (Figs. 7–11). This crate provides the corresponding primitives:
+//!
+//! * [`Distribution`] — an exact sample distribution with percentile,
+//!   mean and CDF queries.
+//! * [`JobClass`], [`ClassifiedLatencies`] — the short/long ×
+//!   constrained/unconstrained breakdown every figure uses.
+//! * [`TimeSeries`] — bucketed time series for Fig.-3-style plots.
+//! * [`report`] — plain-text table rendering for the experiment binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use phoenix_metrics::Distribution;
+//!
+//! let mut d = Distribution::new();
+//! for i in 1..=101 {
+//!     d.record(f64::from(i));
+//! }
+//! assert_eq!(d.percentile(50.0), 51.0);
+//! assert_eq!(d.percentile(99.0), 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod distribution;
+pub mod fairness;
+pub mod plot;
+pub mod queueing;
+pub mod report;
+pub mod timeseries;
+
+pub use classes::{ClassifiedLatencies, ConstraintStatus, JobClass, LatencyKey};
+pub use distribution::{CdfPoint, Distribution};
+pub use fairness::jains_index;
+pub use plot::{render_chart, Series};
+pub use queueing::{md1_mean_wait, mg1_mean_wait, mm1_mean_wait, ServiceMoments};
+pub use report::{format_ratio, Table};
+pub use timeseries::TimeSeries;

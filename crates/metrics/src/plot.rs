@@ -1,0 +1,144 @@
+//! Minimal ASCII chart rendering for the experiment binaries.
+//!
+//! The harness is terminal-first; each figure binary prints its numeric
+//! table and, where a curve shape matters (CDFs, utilization sweeps), an
+//! ASCII chart so the shape is visible without any plotting stack.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; its first character is the plot glyph.
+    pub name: String,
+    /// Data points (need not be sorted).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// Renders series into a `width`×`height` character grid with axis labels
+/// and a legend. Returns an empty string when there is nothing to plot.
+///
+/// Points from different series that land on the same cell are shown as
+/// `*`.
+pub fn render_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let width = width.clamp(16, 200);
+    let height = height.clamp(4, 60);
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (x, y) in &all {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.name.chars().next().unwrap_or('?');
+        for (x, y) in &s.points {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row_from_bottom =
+                (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row_from_bottom.min(height - 1);
+            let cell = &mut grid[row][col.min(width - 1)];
+            *cell = if *cell == ' ' || *cell == glyph {
+                glyph
+            } else {
+                '*'
+            };
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{:>10.3} ┤", y_max);
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == height - 1 {
+            format!("{y_min:>10.3} ┤")
+        } else {
+            format!("{:>10} │", "")
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label}{}", line.trim_end());
+    }
+    let _ = writeln!(out, "{:>11}└{}", "", "─".repeat(width));
+    let _ = writeln!(out, "{:>12}{:<.3} … {:.3}", "", x_min, x_max);
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{}={}", s.name.chars().next().unwrap_or('?'), s.name))
+        .collect();
+    let _ = writeln!(out, "{:>12}legend: {}", "", legend.join("  "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_glyphs_and_legend() {
+        let s1 = Series::new("phoenix", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]);
+        let s2 = Series::new("eagle", vec![(0.0, 4.0), (1.0, 2.0), (2.0, 0.0)]);
+        let chart = render_chart("test", &[s1, s2], 40, 10);
+        assert!(chart.contains('p'), "{chart}");
+        assert!(chart.contains('e'), "{chart}");
+        assert!(chart.contains("legend: p=phoenix  e=eagle"));
+        assert!(chart.contains("test"));
+    }
+
+    #[test]
+    fn overlapping_points_become_stars() {
+        let s1 = Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let s2 = Series::new("b", vec![(0.0, 0.0), (1.0, 0.5)]);
+        let chart = render_chart("t", &[s1, s2], 30, 8);
+        assert!(chart.contains('*'), "{chart}");
+    }
+
+    #[test]
+    fn empty_series_render_nothing() {
+        assert!(render_chart("t", &[], 30, 8).is_empty());
+        let s = Series::new("a", vec![(f64::NAN, 1.0)]);
+        assert!(render_chart("t", &[s], 30, 8).is_empty());
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = Series::new("a", vec![(5.0, 3.0), (5.0, 3.0)]);
+        let chart = render_chart("t", &[s], 30, 8);
+        assert!(chart.contains('a'));
+    }
+
+    #[test]
+    fn axis_labels_reflect_data_range() {
+        let s = Series::new("a", vec![(10.0, 100.0), (20.0, 400.0)]);
+        let chart = render_chart("t", &[s], 30, 8);
+        assert!(chart.contains("400.000"), "{chart}");
+        assert!(chart.contains("100.000"), "{chart}");
+        assert!(chart.contains("10.000 … 20.000"), "{chart}");
+    }
+}

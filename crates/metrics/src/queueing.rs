@@ -1,0 +1,142 @@
+//! Closed-form queueing formulas.
+//!
+//! Phoenix's waiting-time estimator is the Pollaczek–Khinchine M/G/1 mean
+//! wait (Equation 1 of the paper). This module provides the closed forms —
+//! M/M/1 and M/D/1 as special cases of M/G/1 — both for the estimator's
+//! unit tests and for validating the discrete-event engine against theory
+//! (see the `engine_matches_queueing_theory` integration test).
+
+/// Service-time distribution of an M/G/1 queue, described by its first two
+/// moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceMoments {
+    /// Mean service time `E[S]`.
+    pub mean: f64,
+    /// Second moment `E[S²]`.
+    pub second_moment: f64,
+}
+
+impl ServiceMoments {
+    /// Deterministic service of duration `s`: `E[S²] = s²`.
+    pub fn deterministic(s: f64) -> Self {
+        ServiceMoments {
+            mean: s,
+            second_moment: s * s,
+        }
+    }
+
+    /// Exponential service with mean `s`: `E[S²] = 2 s²`.
+    pub fn exponential(s: f64) -> Self {
+        ServiceMoments {
+            mean: s,
+            second_moment: 2.0 * s * s,
+        }
+    }
+
+    /// Empirical moments from samples.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        Some(ServiceMoments {
+            mean: samples.iter().sum::<f64>() / n,
+            second_moment: samples.iter().map(|s| s * s).sum::<f64>() / n,
+        })
+    }
+
+    /// Squared coefficient of variation `c² = Var[S] / E[S]²`.
+    pub fn scv(&self) -> f64 {
+        if self.mean == 0.0 {
+            return 0.0;
+        }
+        (self.second_moment - self.mean * self.mean) / (self.mean * self.mean)
+    }
+}
+
+/// Offered load `ρ = λ·E[S]` for arrival rate `lambda`.
+pub fn rho(lambda: f64, service: &ServiceMoments) -> f64 {
+    lambda * service.mean
+}
+
+/// Pollaczek–Khinchine mean waiting time in queue for an M/G/1 system:
+///
+/// ```text
+/// E[W] = λ·E[S²] / (2·(1−ρ))  =  ρ/(1−ρ) · E[S²]/(2·E[S])
+/// ```
+///
+/// Returns `f64::INFINITY` for `ρ >= 1`.
+pub fn mg1_mean_wait(lambda: f64, service: &ServiceMoments) -> f64 {
+    let rho = rho(lambda, service);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    lambda * service.second_moment / (2.0 * (1.0 - rho))
+}
+
+/// M/M/1 mean wait: `E[W] = ρ/(1−ρ) · E[S]`.
+pub fn mm1_mean_wait(lambda: f64, mean_service: f64) -> f64 {
+    mg1_mean_wait(lambda, &ServiceMoments::exponential(mean_service))
+}
+
+/// M/D/1 mean wait: `E[W] = ρ/(2(1−ρ)) · s` — exactly half the M/M/1 wait.
+pub fn md1_mean_wait(lambda: f64, service: f64) -> f64 {
+    mg1_mean_wait(lambda, &ServiceMoments::deterministic(service))
+}
+
+/// M/M/1 mean number in system: `L = ρ/(1−ρ)` (Little's law check).
+pub fn mm1_mean_in_system(lambda: f64, mean_service: f64) -> f64 {
+    let rho = lambda * mean_service;
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    rho / (1.0 - rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md1_is_half_of_mm1() {
+        let lambda = 0.5;
+        let s = 1.0;
+        let mm1 = mm1_mean_wait(lambda, s);
+        let md1 = md1_mean_wait(lambda, s);
+        assert!((md1 * 2.0 - mm1).abs() < 1e-12, "{md1} vs {mm1}");
+    }
+
+    #[test]
+    fn known_mm1_value() {
+        // ρ = 0.8, E[S] = 1 → E[W] = 0.8/0.2 = 4.
+        assert!((mm1_mean_wait(0.8, 1.0) - 4.0).abs() < 1e-12);
+        // Little: L = ρ/(1-ρ) = 4.
+        assert!((mm1_mean_in_system(0.8, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_is_infinite() {
+        assert!(mm1_mean_wait(1.0, 1.0).is_infinite());
+        assert!(md1_mean_wait(2.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn wait_grows_with_variance_at_equal_load() {
+        let lambda = 0.7;
+        let det = ServiceMoments::deterministic(1.0);
+        let exp = ServiceMoments::exponential(1.0);
+        assert!(mg1_mean_wait(lambda, &exp) > mg1_mean_wait(lambda, &det));
+        assert_eq!(det.scv(), 0.0);
+        assert!((exp.scv() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_moments() {
+        let m = ServiceMoments::from_samples(&[1.0, 3.0]).unwrap();
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.second_moment, 5.0);
+        assert!(ServiceMoments::from_samples(&[]).is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! The harness prints every reproduced table/figure as an aligned text
+//! table (no serialization crates are in the dependency budget, and text is
+//! what the EXPERIMENTS.md log records anyway).
+
+use std::fmt;
+
+/// Formats a normalized ratio the way the paper quotes them, e.g. `1.9x`.
+pub fn format_ratio(ratio: f64) -> String {
+    if !ratio.is_finite() {
+        return "inf".to_string();
+    }
+    format!("{ratio:.2}x")
+}
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use phoenix_metrics::Table;
+///
+/// let mut t = Table::new(vec!["scheduler", "p99 (s)"]);
+/// t.add_row(vec!["phoenix".into(), "12.3".into()]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("phoenix"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are allowed and extend the layout.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience: appends a row of displayable cells.
+    pub fn add_display_row<D: fmt::Display>(&mut self, row: Vec<D>) -> &mut Self {
+        self.add_row(row.iter().map(|d| d.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in widths.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                write!(f, "{cell:<width$}")?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(format_ratio(1.899), "1.90x");
+        assert_eq!(format_ratio(f64::INFINITY), "inf");
+        assert_eq!(format_ratio(f64::NAN), "inf");
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.add_row(vec!["xxxxxx".into(), "1".into()]);
+        t.add_row(vec!["y".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Header and rows share column starts.
+        let header_b = lines[0].find("bbbb").unwrap();
+        let row1_1 = lines[2].find('1').unwrap();
+        assert_eq!(header_b, row1_1);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["only".into()]);
+        let s = t.to_string();
+        assert!(s.contains("only"));
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn display_rows_from_numbers() {
+        let mut t = Table::new(vec!["n"]);
+        t.add_display_row(vec![42]);
+        assert!(t.to_string().contains("42"));
+    }
+}

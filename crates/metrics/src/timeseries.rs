@@ -1,0 +1,155 @@
+//! Bucketed time series (Fig. 3: queuing delay of constrained vs.
+//! unconstrained jobs over trace time).
+
+use std::fmt;
+
+/// A fixed-width-bucket time series over simulated seconds.
+///
+/// Samples are `(time, value)` pairs; queries aggregate per bucket.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket_width: f64,
+    /// Per-bucket (sum, count, max).
+    buckets: Vec<(f64, u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates a time series with the given bucket width (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not strictly positive.
+    pub fn new(bucket_width: f64) -> Self {
+        assert!(
+            bucket_width > 0.0 && bucket_width.is_finite(),
+            "bucket width must be positive"
+        );
+        TimeSeries {
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The configured bucket width in seconds.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+
+    /// Records `value` at time `t` (seconds). Negative or non-finite
+    /// times/values are ignored.
+    pub fn record(&mut self, t: f64, value: f64) {
+        if !(t.is_finite() && value.is_finite()) || t < 0.0 {
+            return;
+        }
+        let idx = (t / self.bucket_width) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, (0.0, 0, 0.0));
+        }
+        let b = &mut self.buckets[idx];
+        b.0 += value;
+        b.1 += 1;
+        if value > b.2 {
+            b.2 = value;
+        }
+    }
+
+    /// Number of buckets (index of the last non-empty bucket + 1).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Mean value per bucket: `(bucket_start_time, mean)`. Empty buckets are
+    /// skipped.
+    pub fn bucket_means(&self) -> Vec<(f64, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, n, _))| *n > 0)
+            .map(|(i, (sum, n, _))| (i as f64 * self.bucket_width, sum / *n as f64))
+            .collect()
+    }
+
+    /// Max value per bucket: `(bucket_start_time, max)`. Empty buckets are
+    /// skipped.
+    pub fn bucket_maxes(&self) -> Vec<(f64, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, n, _))| *n > 0)
+            .map(|(i, (_, _, max))| (i as f64 * self.bucket_width, *max))
+            .collect()
+    }
+
+    /// Total sample count.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|(_, n, _)| *n as usize).sum()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "timeseries: {} samples over {} buckets of {}s",
+            self.len(),
+            self.num_buckets(),
+            self.bucket_width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_assigns_by_time() {
+        let mut ts = TimeSeries::new(10.0);
+        ts.record(0.0, 1.0);
+        ts.record(9.9, 3.0);
+        ts.record(10.0, 5.0);
+        let means = ts.bucket_means();
+        assert_eq!(means.len(), 2);
+        assert_eq!(means[0], (0.0, 2.0));
+        assert_eq!(means[1], (10.0, 5.0));
+    }
+
+    #[test]
+    fn maxes_track_per_bucket_max() {
+        let mut ts = TimeSeries::new(5.0);
+        ts.record(1.0, 2.0);
+        ts.record(2.0, 7.0);
+        ts.record(3.0, 1.0);
+        assert_eq!(ts.bucket_maxes(), vec![(0.0, 7.0)]);
+    }
+
+    #[test]
+    fn invalid_samples_are_ignored() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.record(-1.0, 5.0);
+        ts.record(f64::NAN, 5.0);
+        ts.record(1.0, f64::INFINITY);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn empty_buckets_are_skipped_in_output() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.record(0.5, 1.0);
+        ts.record(5.5, 2.0);
+        let means = ts.bucket_means();
+        assert_eq!(means.len(), 2);
+        assert_eq!(means[1].0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_width_panics() {
+        let _ = TimeSeries::new(0.0);
+    }
+}

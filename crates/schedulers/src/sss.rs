@@ -1,0 +1,94 @@
+//! Eagle's Succinct State Sharing (SSS).
+//!
+//! Eagle's central scheduler shares a bit vector marking workers occupied by
+//! long jobs; distributed schedulers avoid sending short-job probes there
+//! ("divide": short tasks never queue behind long ones). Phoenix reuses the
+//! same mechanism for its probe placement (§IV-A).
+
+use phoenix_sim::WorkerId;
+
+/// A bit vector of workers currently holding long work (running or queued).
+///
+/// Counting (rather than boolean) occupancy handles multiple long tasks
+/// bound to the same worker queue.
+#[derive(Debug, Clone, Default)]
+pub struct LongBusyMap {
+    counts: Vec<u32>,
+}
+
+impl LongBusyMap {
+    /// Creates a map for `n` workers, all clear.
+    pub fn new(n: usize) -> Self {
+        LongBusyMap { counts: vec![0; n] }
+    }
+
+    /// Marks one long task bound to `worker`.
+    pub fn add(&mut self, worker: WorkerId) {
+        self.counts[worker.index()] += 1;
+    }
+
+    /// Clears one long task from `worker` (when it completes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker had no long work recorded (an accounting bug).
+    pub fn remove(&mut self, worker: WorkerId) {
+        let c = &mut self.counts[worker.index()];
+        assert!(*c > 0, "long-busy underflow on {worker}");
+        *c -= 1;
+    }
+
+    /// Whether `worker` holds any long work.
+    pub fn is_long_busy(&self, worker: WorkerId) -> bool {
+        self.counts[worker.index()] > 0
+    }
+
+    /// Number of long-busy workers.
+    pub fn busy_count(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Number of workers tracked.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the map tracks zero workers.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_cycle() {
+        let mut m = LongBusyMap::new(4);
+        assert!(!m.is_long_busy(WorkerId(2)));
+        m.add(WorkerId(2));
+        m.add(WorkerId(2));
+        assert!(m.is_long_busy(WorkerId(2)));
+        assert_eq!(m.busy_count(), 1);
+        m.remove(WorkerId(2));
+        assert!(m.is_long_busy(WorkerId(2)), "one long task remains");
+        m.remove(WorkerId(2));
+        assert!(!m.is_long_busy(WorkerId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn remove_without_add_panics() {
+        let mut m = LongBusyMap::new(2);
+        m.remove(WorkerId(0));
+    }
+
+    #[test]
+    fn len_reports_cluster_size() {
+        let m = LongBusyMap::new(7);
+        assert_eq!(m.len(), 7);
+        assert!(!m.is_empty());
+        assert!(LongBusyMap::new(0).is_empty());
+    }
+}

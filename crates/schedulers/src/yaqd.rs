@@ -1,0 +1,142 @@
+//! Yaq-d: distributed early binding into bounded queues with SRPT.
+//!
+//! Yaq-d (Rasley et al., EuroSys'16 — "Efficient queue management for
+//! cluster scheduling") binds every task *early* to a specific worker
+//! queue: for each task the scheduler samples a handful of candidate
+//! workers, prefers those whose queue is under a length bound, and picks
+//! the one with the least estimated queued work. Queues are reordered with
+//! SRPT (bounded by the starvation slack). There is no late binding, no
+//! stealing and no short/long split — which is why constrained bursts hurt
+//! it (Fig. 2 of the Phoenix paper).
+
+use phoenix_sim::{Scheduler, SimCtx, WorkerId};
+use phoenix_traces::JobId;
+
+use crate::config::BaselineConfig;
+use crate::placement::{estimated_queue_work_us, relaxation_slowdown};
+use crate::srpt::srpt_insert_tail;
+
+/// The Yaq-d scheduler.
+#[derive(Debug, Clone)]
+pub struct YaqD {
+    config: BaselineConfig,
+}
+
+impl YaqD {
+    /// Creates Yaq-d with the given shared configuration.
+    pub fn new(config: BaselineConfig) -> Self {
+        YaqD { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BaselineConfig {
+        &self.config
+    }
+
+    /// Candidate workers sampled per task.
+    fn candidates_per_task(&self) -> usize {
+        (self.config.probe_ratio as usize * 2).max(2)
+    }
+}
+
+impl Scheduler for YaqD {
+    fn name(&self) -> &str {
+        "yaq-d"
+    }
+
+    fn on_job_arrival(&mut self, job: JobId, ctx: &mut SimCtx<'_>) {
+        let set = ctx.job(job).effective_constraints.clone();
+        // Resolve the constraint level once per job.
+        let (set, slowdown) = if ctx.feasibility().count_feasible(&set) > 0 {
+            (set, 1.0)
+        } else {
+            let hard = set.hard_only();
+            if ctx.feasibility().count_feasible(&hard) == 0 {
+                ctx.fail_job(job);
+                return;
+            }
+            let slowdown = relaxation_slowdown(&set);
+            ctx.job_mut(job).effective_constraints = hard.clone();
+            (hard, slowdown)
+        };
+
+        let d = self.candidates_per_task();
+        let bound = self.config.queue_bound;
+        while ctx.job(job).has_pending() {
+            let duration = ctx.job_mut(job).take_task();
+            let candidates = ctx.sample_feasible_workers(&set, d);
+            debug_assert!(!candidates.is_empty(), "feasibility checked above");
+            // Prefer under-bound queues; among them, least estimated work.
+            let best = candidates
+                .iter()
+                .copied()
+                .min_by_key(|&w| {
+                    let over = usize::from(ctx.worker(w).queue_len() >= bound);
+                    (over, estimated_queue_work_us(ctx.state(), w), w.0)
+                })
+                .expect("candidates non-empty");
+            let mut probe = ctx.new_bound_probe(job, duration);
+            probe.slowdown = slowdown;
+            ctx.send_probe(best, probe);
+        }
+    }
+
+    fn on_probe_enqueued(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        srpt_insert_tail(ctx.state_mut(), worker, self.config.slack_threshold);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_constraints::{FeasibilityIndex, MachinePopulation};
+    use phoenix_sim::{SimConfig, Simulation};
+    use phoenix_traces::{TraceGenerator, TraceProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(jobs: usize, nodes: usize, util: f64, seed: u64) -> phoenix_sim::SimResult {
+        let profile = TraceProfile::cloudera();
+        let cutoff = profile.short_cutoff_s();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cluster = MachinePopulation::generate(profile.population.clone(), nodes, &mut rng);
+        let trace = TraceGenerator::new(profile, seed).generate(jobs, nodes, util);
+        Simulation::new(
+            SimConfig::default(),
+            FeasibilityIndex::new(cluster.into_machines()),
+            &trace,
+            Box::new(YaqD::new(BaselineConfig::with_cutoff_s(cutoff))),
+            seed,
+        )
+        .run()
+    }
+
+    #[test]
+    fn completes_all_jobs_with_early_binding_only() {
+        let r = run(400, 100, 0.6, 1);
+        assert_eq!(r.incomplete_jobs, 0);
+        assert_eq!(
+            r.counters.probes_sent, 0,
+            "yaq-d never sends speculative probes"
+        );
+        assert_eq!(r.counters.redundant_probes, 0);
+        assert!(r.counters.bound_placements > 0);
+        assert_eq!(
+            r.counters.bound_placements, r.counters.tasks_completed,
+            "every bound placement runs exactly once"
+        );
+    }
+
+    #[test]
+    fn srpt_reordering_is_active_under_load() {
+        let r = run(900, 60, 0.9, 2);
+        assert!(r.counters.srpt_reordered_tasks > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run(200, 80, 0.7, 9);
+        let b = run(200, 80, 0.7, 9);
+        assert_eq!(a.counters, b.counters);
+    }
+}

@@ -1,0 +1,58 @@
+//! Engine configuration.
+
+use crate::time::SimDuration;
+
+/// Engine-level parameters (scheduler-specific parameters such as probe
+/// ratios or heartbeat intervals live in the scheduler configs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// One-way network delay for scheduler↔worker messages. The paper fixes
+    /// the round trip at 0.5 ms (§V-A), so one way is 0.25 ms.
+    pub network_delay: SimDuration,
+    /// Bucket width for the Fig.-3 style queuing-delay time series.
+    pub timeseries_bucket: SimDuration,
+    /// Keep per-task wait samples (large); disable for big sweeps.
+    pub record_task_waits: bool,
+    /// Scale task execution times by the executing machine's CPU clock
+    /// relative to [`SimConfig::reference_clock_mhz`] (a faster machine
+    /// finishes the same task sooner). Off by default: the paper's
+    /// simulator replays trace durations as-is, constraints being the only
+    /// heterogeneity effect.
+    pub scale_duration_by_clock: bool,
+    /// Clock speed at which trace durations are considered measured, MHz.
+    pub reference_clock_mhz: u32,
+    /// Execution slots per worker. The paper's model (and the default) is
+    /// one slot per worker; larger values are an extension.
+    pub slots_per_worker: usize,
+}
+
+impl SimConfig {
+    /// The round-trip time (twice the one-way delay).
+    pub fn rtt(&self) -> SimDuration {
+        SimDuration(self.network_delay.as_micros() * 2)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            network_delay: SimDuration::from_micros(250),
+            timeseries_bucket: SimDuration::from_secs(60),
+            record_task_waits: true,
+            scale_duration_by_clock: false,
+            reference_clock_mhz: 2_200,
+            slots_per_worker: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.rtt(), SimDuration::from_micros(500));
+    }
+}

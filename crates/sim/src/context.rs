@@ -1,0 +1,199 @@
+//! The mutation interface schedulers use during hooks.
+
+use rand::rngs::StdRng;
+
+use phoenix_constraints::FeasibilityIndex;
+use phoenix_traces::JobId;
+
+use crate::config::SimConfig;
+use crate::engine::SimState;
+use crate::event::{Event, EventQueue};
+use crate::jobstate::JobState;
+use crate::metrics::Counters;
+use crate::probe::{Probe, ProbeId};
+use crate::time::{SimDuration, SimTime};
+use crate::worker::{Worker, WorkerId};
+
+/// Scheduler-facing view of the simulation: state plus the ability to
+/// schedule future events.
+///
+/// Obtained only inside [`crate::Scheduler`] hooks.
+#[derive(Debug)]
+pub struct SimCtx<'a> {
+    pub(crate) state: &'a mut SimState,
+    pub(crate) events: &'a mut EventQueue,
+}
+
+impl<'a> SimCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.state.now
+    }
+
+    /// The full simulation state (read-only).
+    pub fn state(&self) -> &SimState {
+        self.state
+    }
+
+    /// Full mutable access to the simulation state.
+    ///
+    /// Prefer the targeted accessors ([`SimCtx::worker_mut`],
+    /// [`SimCtx::job_mut`], ...); this exists for policy helpers that need
+    /// simultaneous access to several parts of the state (queue reordering
+    /// reads job estimates while mutating worker queues).
+    pub fn state_mut(&mut self) -> &mut SimState {
+        self.state
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.state.config
+    }
+
+    /// Number of workers in the cluster.
+    pub fn num_workers(&self) -> usize {
+        self.state.workers.len()
+    }
+
+    /// Read access to a worker.
+    pub fn worker(&self, id: WorkerId) -> &Worker {
+        &self.state.workers[id.index()]
+    }
+
+    /// Mutable access to a worker (queue reordering, stealing).
+    pub fn worker_mut(&mut self, id: WorkerId) -> &mut Worker {
+        &mut self.state.workers[id.index()]
+    }
+
+    /// Read access to a job.
+    pub fn job(&self, id: JobId) -> &JobState {
+        &self.state.jobs[id.0 as usize]
+    }
+
+    /// Mutable access to a job (admission control rewrites
+    /// `effective_constraints`).
+    pub fn job_mut(&mut self, id: JobId) -> &mut JobState {
+        &mut self.state.jobs[id.0 as usize]
+    }
+
+    /// All jobs (read-only).
+    pub fn jobs(&self) -> &[JobState] {
+        &self.state.jobs
+    }
+
+    /// The feasibility oracle over the cluster's machines.
+    pub fn feasibility(&self) -> &FeasibilityIndex {
+        &self.state.feasibility
+    }
+
+    /// The simulation's deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.state.rng
+    }
+
+    /// Scheduler-maintained counters.
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.state.metrics.counters
+    }
+
+    /// Creates a fresh speculative probe for `job` (not yet sent).
+    pub fn new_probe(&mut self, job: JobId) -> Probe {
+        Probe {
+            id: self.state.next_probe_id(),
+            job,
+            bound_duration_us: None,
+            slowdown: 1.0,
+            enqueued_at: self.state.now,
+            bypass_count: 0,
+            migrations: 0,
+        }
+    }
+
+    /// Creates a fresh *bound* probe carrying a task of `duration_us`
+    /// (early binding; not yet sent).
+    pub fn new_bound_probe(&mut self, job: JobId, duration_us: u64) -> Probe {
+        Probe {
+            bound_duration_us: Some(duration_us),
+            ..self.new_probe(job)
+        }
+    }
+
+    /// Sends a probe to a worker; it arrives after the one-way network
+    /// delay. Updates the probe/placement counters.
+    pub fn send_probe(&mut self, worker: WorkerId, probe: Probe) {
+        if probe.is_bound() {
+            self.state.metrics.counters.bound_placements += 1;
+        } else {
+            self.state.metrics.counters.probes_sent += 1;
+        }
+        self.transfer_probe(worker, probe);
+    }
+
+    /// Moves an already-counted probe to another worker (work stealing,
+    /// rebalancing); it arrives after the one-way network delay. Does not
+    /// touch the send counters — bump [`Counters::stolen_probes`] yourself
+    /// if this is a steal.
+    pub fn transfer_probe(&mut self, worker: WorkerId, probe: Probe) {
+        let at = self.state.now + self.state.config.network_delay;
+        self.events.schedule(at, Event::ProbeArrival(worker, probe));
+    }
+
+    /// Requests a [`crate::Scheduler::on_wakeup`] callback after `delay`.
+    pub fn schedule_wakeup(&mut self, delay: SimDuration, token: u64) {
+        self.events
+            .schedule(self.state.now + delay, Event::SchedulerWakeup(token));
+    }
+
+    /// Marks a worker as needing a dispatch check once the current hook
+    /// returns (the engine does this automatically for probe arrivals and
+    /// task completions; call it after manual queue surgery).
+    pub fn touch(&mut self, worker: WorkerId) {
+        self.state.touched.push(worker);
+    }
+
+    /// Fails a job whose hard constraints no worker can satisfy: pending
+    /// tasks are cancelled and the job is excluded from latency metrics.
+    pub fn fail_job(&mut self, job: JobId) {
+        let j = &mut self.state.jobs[job.0 as usize];
+        if !j.is_failed() {
+            j.fail();
+            self.state.metrics.counters.jobs_failed += 1;
+        }
+    }
+
+    /// Samples up to `k` distinct workers able to satisfy `set`, uniformly
+    /// at random (see
+    /// [`FeasibilityIndex::sample_feasible`]).
+    pub fn sample_feasible_workers(
+        &mut self,
+        set: &phoenix_constraints::ConstraintSet,
+        k: usize,
+    ) -> Vec<WorkerId> {
+        self.sample_feasible_workers_excluding(set, k, |_| false)
+    }
+
+    /// Like [`SimCtx::sample_feasible_workers`], skipping workers for which
+    /// `exclude` returns true.
+    pub fn sample_feasible_workers_excluding(
+        &mut self,
+        set: &phoenix_constraints::ConstraintSet,
+        k: usize,
+        exclude: impl FnMut(u32) -> bool,
+    ) -> Vec<WorkerId> {
+        let state = &mut *self.state;
+        state
+            .feasibility
+            .sample_feasible(set, k, &mut state.rng, exclude)
+            .into_iter()
+            .map(WorkerId)
+            .collect()
+    }
+
+    /// Removes the queued probe with the given id from a worker's queue,
+    /// if present (used to recall probes).
+    pub fn remove_probe_by_id(&mut self, worker: WorkerId, id: ProbeId) -> Option<Probe> {
+        let w = &mut self.state.workers[worker.index()];
+        let idx = w.queue().iter().position(|p| p.id == id)?;
+        Some(w.remove_probe(idx))
+    }
+}

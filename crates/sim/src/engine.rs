@@ -1,0 +1,308 @@
+//! The discrete-event simulation engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use phoenix_constraints::FeasibilityIndex;
+use phoenix_traces::Trace;
+
+use crate::config::SimConfig;
+use crate::context::SimCtx;
+use crate::event::{Event, EventQueue};
+use crate::jobstate::JobState;
+use crate::metrics::{SimMetrics, SimResult};
+use crate::probe::ProbeId;
+use crate::scheduler::Scheduler;
+use crate::time::SimDuration;
+use crate::worker::{RunningTask, Worker, WorkerId};
+
+/// Mutable simulation state shared between the engine and the scheduler
+/// (through [`SimCtx`]).
+#[derive(Debug)]
+pub struct SimState {
+    /// Current simulated time.
+    pub now: crate::time::SimTime,
+    /// Engine configuration.
+    pub config: SimConfig,
+    /// All workers, indexed by [`WorkerId`].
+    pub workers: Vec<Worker>,
+    /// All jobs, indexed by [`phoenix_traces::JobId`].
+    pub jobs: Vec<JobState>,
+    /// Feasibility oracle over the cluster's machine attributes.
+    pub feasibility: FeasibilityIndex,
+    /// Metrics under accumulation.
+    pub metrics: SimMetrics,
+    pub(crate) rng: StdRng,
+    pub(crate) touched: Vec<WorkerId>,
+    next_probe: u64,
+    next_task_seq: u64,
+}
+
+impl SimState {
+    pub(crate) fn next_probe_id(&mut self) -> ProbeId {
+        let id = ProbeId(self.next_probe);
+        self.next_probe += 1;
+        id
+    }
+}
+
+/// A configured simulation, ready to [`run`](Simulation::run).
+pub struct Simulation {
+    state: SimState,
+    events: EventQueue,
+    scheduler: Box<dyn Scheduler>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("scheduler", &self.scheduler.name())
+            .field("workers", &self.state.workers.len())
+            .field("jobs", &self.state.jobs.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation of `trace` on the cluster described by
+    /// `feasibility`, scheduled by `scheduler`.
+    ///
+    /// `seed` drives every random choice the scheduler makes (probe
+    /// sampling, steal victims); the run is fully deterministic given
+    /// `(trace, feasibility, scheduler, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is empty.
+    pub fn new(
+        config: SimConfig,
+        feasibility: FeasibilityIndex,
+        trace: &Trace,
+        scheduler: Box<dyn Scheduler>,
+        seed: u64,
+    ) -> Self {
+        assert!(!feasibility.is_empty(), "cluster must have workers");
+        let slots = config.slots_per_worker.max(1);
+        let workers = (0..feasibility.len())
+            .map(|_| Worker::with_slots(slots))
+            .collect();
+        let jobs: Vec<JobState> = trace.iter().map(JobState::from_job).collect();
+        let mut events = EventQueue::new();
+        for job in &jobs {
+            events.schedule(job.arrival, Event::JobArrival(job.id.0));
+        }
+        let metrics = SimMetrics::new(config.timeseries_bucket);
+        Simulation {
+            state: SimState {
+                now: crate::time::SimTime::ZERO,
+                config,
+                workers,
+                jobs,
+                feasibility,
+                metrics,
+                rng: StdRng::seed_from_u64(seed),
+                touched: Vec::new(),
+                next_probe: 0,
+                next_task_seq: 0,
+            },
+            events,
+            scheduler,
+        }
+    }
+
+    /// Read access to the state (tests and tools).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Consumes the simulation, returning its state without running it.
+    ///
+    /// Intended for tests and policy harnesses that drive state directly
+    /// (e.g. exercising queue-reordering helpers on a realistic state).
+    pub fn into_state_for_tests(self) -> SimState {
+        self.state
+    }
+
+    /// Runs the simulation to completion and returns the result.
+    pub fn run(mut self) -> SimResult {
+        while let Some((t, event)) = self.events.pop() {
+            debug_assert!(t >= self.state.now, "time must not go backwards");
+            self.state.now = t;
+            self.handle(event);
+            self.drain_touched();
+        }
+        let incomplete = self
+            .state
+            .jobs
+            .iter()
+            .filter(|j| !j.is_complete() && !j.is_failed())
+            .count();
+        let job_outcomes = self
+            .state
+            .jobs
+            .iter()
+            .map(|j| crate::metrics::JobOutcome {
+                job: j.id,
+                short: j.short,
+                user: j.user,
+                constrained: j.is_constrained(),
+                response_s: j.response_time().map(|d| d.as_secs_f64()),
+                mean_wait_s: j.mean_wait().map(|d| d.as_secs_f64()),
+                ideal_s: j.max_task_us as f64 / 1e6,
+                failed: j.is_failed(),
+            })
+            .collect();
+        SimResult {
+            scheduler: self.scheduler.name().to_string(),
+            workers: self.state.workers.len(),
+            counters: self.state.metrics.counters,
+            metrics: self.state.metrics,
+            incomplete_jobs: incomplete,
+            job_outcomes,
+        }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::JobArrival(index) => {
+                let id = phoenix_traces::JobId(index);
+                let mut ctx = SimCtx {
+                    state: &mut self.state,
+                    events: &mut self.events,
+                };
+                self.scheduler.on_job_arrival(id, &mut ctx);
+            }
+            Event::ProbeArrival(worker, mut probe) => {
+                probe.enqueued_at = self.state.now;
+                self.state.workers[worker.index()].enqueue(probe);
+                let mut ctx = SimCtx {
+                    state: &mut self.state,
+                    events: &mut self.events,
+                };
+                self.scheduler.on_probe_enqueued(worker, &mut ctx);
+                self.state.touched.push(worker);
+            }
+            Event::TaskFinish(worker, seq) => {
+                let task = self.state.workers[worker.index()].finish_task(seq);
+                self.state.metrics.counters.tasks_completed += 1;
+                let job_idx = task.job.0 as usize;
+                let done = self.state.jobs[job_idx].complete_task(self.state.now);
+                if self.state.now > self.state.metrics.makespan {
+                    self.state.metrics.makespan = self.state.now;
+                }
+                if done {
+                    let snapshot = self.state.jobs[job_idx].clone();
+                    self.state.metrics.record_job_completion(&snapshot);
+                    let mut ctx = SimCtx {
+                        state: &mut self.state,
+                        events: &mut self.events,
+                    };
+                    self.scheduler.on_job_complete(task.job, &mut ctx);
+                }
+                let mut ctx = SimCtx {
+                    state: &mut self.state,
+                    events: &mut self.events,
+                };
+                self.scheduler
+                    .on_task_finish(worker, task.job, task.duration_us, &mut ctx);
+                self.state.touched.push(worker);
+            }
+            Event::SchedulerWakeup(token) => {
+                let mut ctx = SimCtx {
+                    state: &mut self.state,
+                    events: &mut self.events,
+                };
+                self.scheduler.on_wakeup(token, &mut ctx);
+            }
+        }
+    }
+
+    fn drain_touched(&mut self) {
+        while let Some(worker) = self.state.touched.pop() {
+            self.try_dispatch(worker);
+        }
+    }
+
+    /// Serves a worker's queue while it has free slots: pops probes in
+    /// policy order, discards redundant speculative probes for free, and
+    /// launches probes that yield tasks.
+    fn try_dispatch(&mut self, worker: WorkerId) {
+        loop {
+            let w = &self.state.workers[worker.index()];
+            if !w.has_free_slot() || w.queue_len() == 0 {
+                return;
+            }
+            let Some(idx) = self.scheduler.select_probe(worker, &self.state) else {
+                return;
+            };
+            let probe = self.state.workers[worker.index()].remove_probe(idx);
+            let job_idx = probe.job.0 as usize;
+            let (raw_duration_us, fetch_delay) = match probe.bound_duration_us {
+                // Early-bound task: the payload travelled with the probe.
+                Some(d) => (d, SimDuration::ZERO),
+                None => {
+                    if !self.state.jobs[job_idx].has_pending() {
+                        // Late binding win: every task already launched
+                        // elsewhere; drop the redundant probe.
+                        self.state.metrics.counters.redundant_probes += 1;
+                        continue;
+                    }
+                    // Ask the job's scheduler for a task: one round trip.
+                    let d = self.state.jobs[job_idx].take_task();
+                    (d, self.state.config.rtt())
+                }
+            };
+            let clock_factor = if self.state.config.scale_duration_by_clock {
+                let clock = self.state.feasibility.machines()[worker.index()].cpu_clock_mhz;
+                f64::from(self.state.config.reference_clock_mhz) / f64::from(clock.max(1))
+            } else {
+                1.0
+            };
+            let duration_us =
+                ((raw_duration_us as f64) * probe.slowdown.max(1.0) * clock_factor).round() as u64;
+            if probe.slowdown > 1.0 {
+                self.state.metrics.counters.relaxed_tasks += 1;
+            }
+            let start = self.state.now + fetch_delay;
+            let finish = start + SimDuration(duration_us.max(1));
+            let now = self.state.now;
+            let record_dist = self.state.config.record_task_waits;
+            let job = &mut self.state.jobs[job_idx];
+            let wait = start.since(job.arrival);
+            job.wait_sum_us += wait.as_micros();
+            let constrained = job.is_constrained();
+            {
+                let m = &mut self.state.metrics;
+                let wsec = wait.as_secs_f64();
+                if constrained {
+                    m.constrained_wait_series.record(now.as_secs_f64(), wsec);
+                } else {
+                    m.unconstrained_wait_series.record(now.as_secs_f64(), wsec);
+                }
+                if record_dist {
+                    m.task_waits.record(wsec);
+                }
+            }
+            let seq = self.state.next_task_seq;
+            self.state.next_task_seq += 1;
+            self.state.workers[worker.index()].start_task(
+                RunningTask {
+                    job: probe.job,
+                    finish_at: finish,
+                    duration_us,
+                    bound: probe.is_bound(),
+                    seq,
+                },
+                now,
+            );
+            self.state.metrics.busy_us += finish.since(now).as_micros();
+            self.events.schedule(finish, Event::TaskFinish(worker, seq));
+            // Multi-slot workers may admit further probes right away.
+            if self.state.workers[worker.index()].has_free_slot() {
+                continue;
+            }
+            return;
+        }
+    }
+}

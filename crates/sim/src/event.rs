@@ -1,0 +1,135 @@
+//! The discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::probe::Probe;
+use crate::time::SimTime;
+use crate::worker::WorkerId;
+
+/// A simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The `index`-th job of the trace arrives at the scheduler.
+    JobArrival(u32),
+    /// A probe (speculative or bound) reaches a worker's queue after its
+    /// network delay.
+    ProbeArrival(WorkerId, Probe),
+    /// The task with the given engine sequence number finishes on a
+    /// worker.
+    TaskFinish(WorkerId, u64),
+    /// A scheduler-requested wakeup (heartbeats, delayed actions). The token
+    /// is opaque to the engine.
+    SchedulerWakeup(u64),
+}
+
+/// An event scheduled at a time, with a sequence number breaking ties
+/// deterministically (FIFO among same-time events).
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), Event::JobArrival(3));
+        q.schedule(SimTime(10), Event::JobArrival(1));
+        q.schedule(SimTime(20), Event::JobArrival(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), Event::JobArrival(1));
+        q.schedule(SimTime(5), Event::JobArrival(2));
+        q.schedule(SimTime(5), Event::JobArrival(3));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::JobArrival(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime(1), Event::SchedulerWakeup(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

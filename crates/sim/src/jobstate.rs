@@ -1,0 +1,234 @@
+//! Per-job progress tracking inside the simulator.
+
+use phoenix_constraints::ConstraintSet;
+use phoenix_traces::{Job, JobId};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Runtime state of one job.
+#[derive(Debug, Clone)]
+pub struct JobState {
+    /// Job id (index into the simulation's job table).
+    pub id: JobId,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// True per-task durations, microseconds, in launch order.
+    durations_us: Vec<u64>,
+    /// Scheduler-visible estimated task duration, microseconds.
+    pub estimated_task_us: u64,
+    /// Longest task duration, microseconds — the job's ideal (zero-wait,
+    /// fully parallel) response time.
+    pub max_task_us: u64,
+    /// The job's original constraint set.
+    pub constraints: ConstraintSet,
+    /// The constraint set actually used for placement (admission control
+    /// may have relaxed soft constraints).
+    pub effective_constraints: ConstraintSet,
+    /// Short/long classification from the trace.
+    pub short: bool,
+    /// Submitting user/tenant.
+    pub user: u32,
+    next_task: usize,
+    completed: usize,
+    failed: bool,
+    /// Sum of queue waits of launched tasks, microseconds.
+    pub wait_sum_us: u64,
+    /// Number of launched tasks.
+    pub launched: usize,
+    /// Completion time of the last task.
+    pub finished_at: Option<SimTime>,
+}
+
+impl JobState {
+    /// Builds runtime state from a trace job.
+    pub fn from_job(job: &Job) -> Self {
+        let durations_us: Vec<u64> = job
+            .task_durations_s
+            .iter()
+            .map(|&d| SimDuration::from_secs_f64(d).as_micros().max(1))
+            .collect();
+        let max_task_us = durations_us.iter().copied().max().unwrap_or(1);
+        JobState {
+            id: job.id,
+            arrival: SimTime::from_secs_f64(job.arrival_s),
+            durations_us,
+            max_task_us,
+            estimated_task_us: SimDuration::from_secs_f64(job.estimated_task_duration_s)
+                .as_micros()
+                .max(1),
+            constraints: job.constraints.clone(),
+            effective_constraints: job.constraints.clone(),
+            short: job.short,
+            user: job.user,
+            next_task: 0,
+            completed: 0,
+            failed: false,
+            wait_sum_us: 0,
+            launched: 0,
+            finished_at: None,
+        }
+    }
+
+    /// Total number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.durations_us.len()
+    }
+
+    /// Whether unlaunched tasks remain (and the job was not failed).
+    pub fn has_pending(&self) -> bool {
+        !self.failed && self.next_task < self.durations_us.len()
+    }
+
+    /// Number of tasks not yet launched.
+    pub fn pending_tasks(&self) -> usize {
+        if self.failed {
+            0
+        } else {
+            self.durations_us.len() - self.next_task
+        }
+    }
+
+    /// Number of completed tasks.
+    pub fn completed_tasks(&self) -> usize {
+        self.completed
+    }
+
+    /// Takes the next unlaunched task, returning its true duration in
+    /// microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is pending.
+    pub fn take_task(&mut self) -> u64 {
+        assert!(self.has_pending(), "no pending task to take");
+        let d = self.durations_us[self.next_task];
+        self.next_task += 1;
+        self.launched += 1;
+        d
+    }
+
+    /// Records one task completion at `now`; returns true if this completed
+    /// the whole job.
+    pub fn complete_task(&mut self, now: SimTime) -> bool {
+        self.completed += 1;
+        debug_assert!(self.completed <= self.launched);
+        let done = self.completed == self.durations_us.len();
+        if done {
+            self.finished_at = Some(now);
+        }
+        done
+    }
+
+    /// Marks the job failed (unsatisfiable constraints). Pending tasks are
+    /// cancelled; already-running tasks finish normally.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Whether the job was failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Whether every task completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.durations_us.len()
+    }
+
+    /// Whether the job carries constraints (by its *original* set).
+    pub fn is_constrained(&self) -> bool {
+        !self.constraints.is_unconstrained()
+    }
+
+    /// Job response time (arrival → last completion), if complete.
+    pub fn response_time(&self) -> Option<SimDuration> {
+        self.finished_at.map(|t| t.since(self.arrival))
+    }
+
+    /// Mean task queue wait, if any task launched.
+    pub fn mean_wait(&self) -> Option<SimDuration> {
+        if self.launched == 0 {
+            None
+        } else {
+            Some(SimDuration(self.wait_sum_us / self.launched as u64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> JobState {
+        JobState::from_job(&Job {
+            id: JobId(4),
+            arrival_s: 1.0,
+            task_durations_s: vec![2.0, 3.0],
+            estimated_task_duration_s: 2.5,
+            constraints: ConstraintSet::unconstrained(),
+            short: true,
+            user: 0,
+        })
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut j = job();
+        assert!(j.has_pending());
+        assert_eq!(j.pending_tasks(), 2);
+        let d0 = j.take_task();
+        assert_eq!(d0, 2_000_000);
+        assert!(!j.complete_task(SimTime(5_000_000)));
+        let _ = j.take_task();
+        assert!(!j.has_pending());
+        assert!(j.complete_task(SimTime(8_000_000)));
+        assert!(j.is_complete());
+        assert_eq!(j.response_time().unwrap(), SimDuration::from_secs_f64(7.0));
+    }
+
+    #[test]
+    fn fail_cancels_pending() {
+        let mut j = job();
+        let _ = j.take_task();
+        j.fail();
+        assert!(!j.has_pending());
+        assert_eq!(j.pending_tasks(), 0);
+        assert!(j.is_failed());
+        assert!(!j.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending task")]
+    fn take_from_exhausted_panics() {
+        let mut j = job();
+        let _ = j.take_task();
+        let _ = j.take_task();
+        let _ = j.take_task();
+    }
+
+    #[test]
+    fn mean_wait_accumulates() {
+        let mut j = job();
+        assert!(j.mean_wait().is_none());
+        let _ = j.take_task();
+        j.wait_sum_us += 100;
+        let _ = j.take_task();
+        j.wait_sum_us += 300;
+        assert_eq!(j.mean_wait().unwrap().as_micros(), 200);
+    }
+
+    #[test]
+    fn zero_duration_tasks_are_clamped_to_one_microsecond() {
+        let j = JobState::from_job(&Job {
+            id: JobId(0),
+            arrival_s: 0.0,
+            task_durations_s: vec![0.0],
+            estimated_task_duration_s: 0.0,
+            constraints: ConstraintSet::unconstrained(),
+            short: true,
+            user: 0,
+        });
+        assert_eq!(j.durations_us[0], 1);
+        assert_eq!(j.estimated_task_us, 1);
+    }
+}

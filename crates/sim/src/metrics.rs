@@ -1,0 +1,293 @@
+//! Simulation metrics: everything the paper's tables and figures need.
+
+use std::fmt;
+
+use phoenix_metrics::{
+    ClassifiedLatencies, ConstraintStatus, Distribution, JobClass, LatencyKey, TimeSeries,
+};
+
+use crate::jobstate::JobState;
+use crate::time::{SimDuration, SimTime};
+
+/// Monotone counters, some engine-maintained and some scheduler-maintained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Speculative probes sent to workers.
+    pub probes_sent: u64,
+    /// Speculative probes discarded because their job had no pending task.
+    pub redundant_probes: u64,
+    /// Early-bound task placements.
+    pub bound_placements: u64,
+    /// Tasks completed.
+    pub tasks_completed: u64,
+    /// Jobs completed.
+    pub jobs_completed: u64,
+    /// Jobs failed by admission control (unsatisfiable hard constraints).
+    pub jobs_failed: u64,
+    /// Tasks launched with at least one relaxed soft constraint.
+    pub relaxed_tasks: u64,
+    /// Tasks promoted by heartbeat CRV-based reordering (Algorithm 1's
+    /// `Reorder_Task` count — the paper's Table III statistic).
+    pub crv_reordered_tasks: u64,
+    /// Queue moves performed by the CRV insertion discipline during
+    /// contention windows (continuous counterpart of the heartbeat pass).
+    pub crv_insertions: u64,
+    /// Queue promotions performed by SRPT reordering.
+    pub srpt_reordered_tasks: u64,
+    /// Probes moved by work stealing.
+    pub stolen_probes: u64,
+    /// Constrained probes migrated by Phoenix's dynamic rescheduling.
+    pub migrated_probes: u64,
+    /// Sticky-batch-probing continuations (local probes a worker enqueues
+    /// for the job it just served; not network probes).
+    pub sbp_continuations: u64,
+    /// Promotions suppressed by the starvation (slack) bound.
+    pub starvation_suppressions: u64,
+}
+
+/// Metrics accumulated during a run.
+#[derive(Debug, Clone)]
+pub struct SimMetrics {
+    /// Job response times (arrival → last task completion), seconds.
+    pub job_response: ClassifiedLatencies,
+    /// Per-job mean task queuing times, seconds.
+    pub job_queuing: ClassifiedLatencies,
+    /// Per-task queue waits, seconds (optional, heavy).
+    pub task_waits: Distribution,
+    /// Queuing delay over time for constrained jobs (Fig. 3).
+    pub constrained_wait_series: TimeSeries,
+    /// Queuing delay over time for unconstrained jobs (Fig. 3).
+    pub unconstrained_wait_series: TimeSeries,
+    /// Counters.
+    pub counters: Counters,
+    /// Completion time of the last task.
+    pub makespan: SimTime,
+    /// Sum of busy slot time across workers, microseconds.
+    pub busy_us: u64,
+}
+
+impl SimMetrics {
+    /// Creates empty metrics with the given time-series bucket width.
+    pub fn new(bucket: SimDuration) -> Self {
+        let width = bucket.as_secs_f64().max(1e-6);
+        SimMetrics {
+            job_response: ClassifiedLatencies::new(),
+            job_queuing: ClassifiedLatencies::new(),
+            task_waits: Distribution::new(),
+            constrained_wait_series: TimeSeries::new(width),
+            unconstrained_wait_series: TimeSeries::new(width),
+            counters: Counters::default(),
+            makespan: SimTime::ZERO,
+            busy_us: 0,
+        }
+    }
+
+    /// The (class, status) key for a job.
+    pub fn key_for(job: &JobState) -> LatencyKey {
+        LatencyKey::new(
+            if job.short {
+                JobClass::Short
+            } else {
+                JobClass::Long
+            },
+            if job.is_constrained() {
+                ConstraintStatus::Constrained
+            } else {
+                ConstraintStatus::Unconstrained
+            },
+        )
+    }
+
+    /// Records a completed job's response and queuing metrics.
+    pub fn record_job_completion(&mut self, job: &JobState) {
+        let key = Self::key_for(job);
+        if let Some(resp) = job.response_time() {
+            self.job_response.record(key, resp.as_secs_f64());
+        }
+        if let Some(wait) = job.mean_wait() {
+            self.job_queuing.record(key, wait.as_secs_f64());
+        }
+        self.counters.jobs_completed += 1;
+    }
+
+    /// Records one task launch's queue wait at simulated time `now`.
+    pub fn record_task_wait(&mut self, job: &JobState, wait: SimDuration, now: SimTime) {
+        let w = wait.as_secs_f64();
+        if job.is_constrained() {
+            self.constrained_wait_series.record(now.as_secs_f64(), w);
+        } else {
+            self.unconstrained_wait_series.record(now.as_secs_f64(), w);
+        }
+        self.task_waits.record(w);
+    }
+}
+
+/// Per-job outcome retained in the result for offline analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobOutcome {
+    /// Job id within the trace.
+    pub job: phoenix_traces::JobId,
+    /// Short/long classification.
+    pub short: bool,
+    /// Submitting user/tenant.
+    pub user: u32,
+    /// Whether the job's original set carried constraints.
+    pub constrained: bool,
+    /// Response time, seconds (`None` for failed jobs).
+    pub response_s: Option<f64>,
+    /// Mean task queue wait, seconds.
+    pub mean_wait_s: Option<f64>,
+    /// Ideal zero-wait response time (the longest task), seconds.
+    pub ideal_s: f64,
+    /// Whether admission control failed the job.
+    pub failed: bool,
+}
+
+impl JobOutcome {
+    /// Job slowdown: response over the ideal zero-wait response
+    /// (`None` until complete). Always ≥ 1 up to rounding.
+    pub fn slowdown(&self) -> Option<f64> {
+        self.response_s.map(|r| r / self.ideal_s.max(1e-9))
+    }
+}
+
+/// The outcome of a finished simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Scheduler name that produced this run.
+    pub scheduler: String,
+    /// Number of workers simulated.
+    pub workers: usize,
+    /// All metrics.
+    pub metrics: SimMetrics,
+    /// Counters (duplicated out of `metrics` for convenience).
+    pub counters: Counters,
+    /// Jobs that never completed (should be 0 for a well-formed run unless
+    /// admission control failed them).
+    pub incomplete_jobs: usize,
+    /// Per-job outcomes, in trace order.
+    pub job_outcomes: Vec<JobOutcome>,
+}
+
+impl SimResult {
+    /// Cluster utilization: busy slot time over total slot time until the
+    /// makespan.
+    pub fn utilization(&self) -> f64 {
+        let total = self.metrics.makespan.as_micros() as f64 * self.workers as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.metrics.busy_us as f64 / total
+    }
+
+    /// Percentile of job response time for a (class, status) cell, seconds.
+    pub fn response_percentile(&self, key: LatencyKey, p: f64) -> f64 {
+        let mut d = self.metrics.job_response.cell(key).clone();
+        d.percentile(p)
+    }
+
+    /// Percentile of job response time for a whole class, seconds.
+    pub fn class_response_percentile(&self, class: JobClass, p: f64) -> f64 {
+        self.metrics.job_response.by_class(class).percentile(p)
+    }
+
+    /// Percentile of per-job queuing time for a whole class, seconds.
+    pub fn class_queuing_percentile(&self, class: JobClass, p: f64) -> f64 {
+        self.metrics.job_queuing.by_class(class).percentile(p)
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} jobs done ({} failed, {} incomplete), util {:.1}%, short p99 {:.2}s",
+            self.scheduler,
+            self.counters.jobs_completed,
+            self.counters.jobs_failed,
+            self.incomplete_jobs,
+            self.utilization() * 100.0,
+            self.class_response_percentile(JobClass::Short, 99.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_constraints::{Constraint, ConstraintKind, ConstraintOp, ConstraintSet};
+    use phoenix_traces::{Job, JobId};
+
+    fn job(constrained: bool, short: bool) -> JobState {
+        let constraints = if constrained {
+            ConstraintSet::from_constraints(vec![Constraint::hard(
+                ConstraintKind::NumCores,
+                ConstraintOp::Gt,
+                4,
+            )])
+        } else {
+            ConstraintSet::unconstrained()
+        };
+        JobState::from_job(&Job {
+            id: JobId(0),
+            arrival_s: 0.0,
+            task_durations_s: vec![1.0],
+            estimated_task_duration_s: 1.0,
+            constraints,
+            short,
+            user: 0,
+        })
+    }
+
+    #[test]
+    fn key_classification() {
+        let k = SimMetrics::key_for(&job(true, true));
+        assert_eq!(k.class, JobClass::Short);
+        assert_eq!(k.status, ConstraintStatus::Constrained);
+        let k = SimMetrics::key_for(&job(false, false));
+        assert_eq!(k.class, JobClass::Long);
+        assert_eq!(k.status, ConstraintStatus::Unconstrained);
+    }
+
+    #[test]
+    fn job_completion_recording() {
+        let mut m = SimMetrics::new(SimDuration::from_secs(60));
+        let mut j = job(false, true);
+        let _ = j.take_task();
+        j.wait_sum_us += 2_000_000;
+        j.complete_task(SimTime::from_secs_f64(5.0));
+        m.record_job_completion(&j);
+        assert_eq!(m.counters.jobs_completed, 1);
+        let key = SimMetrics::key_for(&j);
+        assert_eq!(m.job_response.cell(key).len(), 1);
+        let mut q = m.job_queuing.cell(key).clone();
+        assert!((q.percentile(50.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_wait_series_split_by_constraint_status() {
+        let mut m = SimMetrics::new(SimDuration::from_secs(1));
+        m.record_task_wait(&job(true, true), SimDuration::from_secs(1), SimTime(0));
+        m.record_task_wait(&job(false, true), SimDuration::from_secs(2), SimTime(0));
+        assert_eq!(m.constrained_wait_series.len(), 1);
+        assert_eq!(m.unconstrained_wait_series.len(), 1);
+        assert_eq!(m.task_waits.len(), 2);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut m = SimMetrics::new(SimDuration::from_secs(60));
+        m.makespan = SimTime(1_000_000);
+        m.busy_us = 500_000;
+        let r = SimResult {
+            scheduler: "test".into(),
+            workers: 1,
+            counters: m.counters,
+            metrics: m,
+            incomplete_jobs: 0,
+            job_outcomes: Vec::new(),
+        };
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert!(!r.to_string().is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Task probes: the unit queued at workers.
+
+use std::fmt;
+
+use phoenix_traces::JobId;
+
+use crate::time::SimTime;
+
+/// Unique probe identifier (monotone per simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProbeId(pub u64);
+
+impl fmt::Display for ProbeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "probe-{}", self.0)
+    }
+}
+
+/// A queued probe.
+///
+/// Two flavours exist:
+///
+/// * **Speculative** (`bound_duration_us == None`): a late-binding
+///   reservation. When the worker pops it, the job is asked for a task; if
+///   every task has already been launched elsewhere the probe is discarded.
+/// * **Bound** (`bound_duration_us == Some(d)`): an early-bound task (the
+///   centralized path). Popping it always launches a task of duration `d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Probe {
+    /// Unique id.
+    pub id: ProbeId,
+    /// The job this probe belongs to.
+    pub job: JobId,
+    /// `Some(duration)` for early-bound tasks.
+    pub bound_duration_us: Option<u64>,
+    /// Execution-time multiplier applied at launch (>1 when the admission
+    /// controller relaxed a soft constraint for this placement).
+    pub slowdown: f64,
+    /// Time the probe was enqueued at its current worker.
+    pub enqueued_at: SimTime,
+    /// Number of times another probe bypassed this one through reordering
+    /// (the paper's starvation `slack` counter).
+    pub bypass_count: u32,
+    /// Number of times this probe has been migrated between worker queues
+    /// (Phoenix's dynamic probe rescheduling); bounded to avoid
+    /// oscillation.
+    pub migrations: u8,
+}
+
+impl Probe {
+    /// Whether the probe carries its task with it (early binding).
+    pub fn is_bound(&self) -> bool {
+        self.bound_duration_us.is_some()
+    }
+}
+
+impl fmt::Display for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}, {})",
+            self.id,
+            self.job,
+            if self.is_bound() {
+                "bound"
+            } else {
+                "speculative"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_flag_tracks_duration() {
+        let mut p = Probe {
+            id: ProbeId(1),
+            job: JobId(0),
+            bound_duration_us: None,
+            slowdown: 1.0,
+            enqueued_at: SimTime::ZERO,
+            bypass_count: 0,
+            migrations: 0,
+        };
+        assert!(!p.is_bound());
+        p.bound_duration_us = Some(5);
+        assert!(p.is_bound());
+    }
+
+    #[test]
+    fn display_mentions_flavour() {
+        let p = Probe {
+            id: ProbeId(2),
+            job: JobId(3),
+            bound_duration_us: Some(5),
+            slowdown: 1.0,
+            enqueued_at: SimTime::ZERO,
+            bypass_count: 0,
+            migrations: 0,
+        };
+        assert!(p.to_string().contains("bound"));
+    }
+}

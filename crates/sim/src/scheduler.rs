@@ -1,0 +1,68 @@
+//! The pluggable scheduler interface.
+
+use phoenix_traces::JobId;
+
+use crate::context::SimCtx;
+use crate::engine::SimState;
+use crate::worker::WorkerId;
+
+/// A scheduling policy driven by the simulation engine.
+///
+/// The engine owns the mechanics (event ordering, probe queues, slot
+/// lifecycle, metrics); implementations own the policy (where probes go, in
+/// what order queues are served, when queues are reordered or stolen from).
+///
+/// Hook call order for one event:
+///
+/// 1. The engine applies the event's mechanical effect (enqueue the probe,
+///    free the slot, ...).
+/// 2. The matching hook runs and may mutate state through [`SimCtx`].
+/// 3. The engine re-runs the dispatch loop on every touched worker, calling
+///    [`Scheduler::select_probe`] to pick which queued probe each idle
+///    worker serves next.
+pub trait Scheduler {
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> &str;
+
+    /// A job has arrived; place its probes / tasks.
+    fn on_job_arrival(&mut self, job: JobId, ctx: &mut SimCtx<'_>);
+
+    /// A probe was appended to `worker`'s queue (reorder here if the policy
+    /// orders on insertion).
+    fn on_probe_enqueued(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        let _ = (worker, ctx);
+    }
+
+    /// Chooses which queued probe an idle `worker` serves next, as an index
+    /// into its queue. `None` leaves the worker idle (no default policy
+    /// does this). The default serves the queue head.
+    fn select_probe(&mut self, worker: WorkerId, state: &SimState) -> Option<usize> {
+        if state.workers[worker.index()].queue_len() == 0 {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    /// A task of `job` finished on `worker` (its true duration is reported
+    /// in microseconds). Steal or rebalance here.
+    fn on_task_finish(
+        &mut self,
+        worker: WorkerId,
+        job: JobId,
+        duration_us: u64,
+        ctx: &mut SimCtx<'_>,
+    ) {
+        let _ = (worker, job, duration_us, ctx);
+    }
+
+    /// Every task of `job` completed.
+    fn on_job_complete(&mut self, job: JobId, ctx: &mut SimCtx<'_>) {
+        let _ = (job, ctx);
+    }
+
+    /// A wakeup requested via [`SimCtx::schedule_wakeup`] fired.
+    fn on_wakeup(&mut self, token: u64, ctx: &mut SimCtx<'_>) {
+        let _ = (token, ctx);
+    }
+}

@@ -1,0 +1,165 @@
+//! Simulated time: integer microseconds.
+//!
+//! Integer timestamps keep the event heap's ordering exact and runs
+//! bit-for-bit reproducible; floats would accumulate drift over millions of
+//! events.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, saturating at zero for
+    /// negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// The duration in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// An absolute simulated timestamp, microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a timestamp from fractional seconds since start, saturating
+    /// at zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(SimDuration::from_secs_f64(s).0)
+    }
+
+    /// Microseconds since simulation start.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration since an earlier timestamp, saturating at zero if `earlier`
+    /// is actually later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimDuration::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimDuration::from_secs(3).as_micros(), 3_000_000);
+        let d = SimDuration::from_secs_f64(1.5);
+        assert_eq!(d.as_micros(), 1_500_000);
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_durations_saturate_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(10);
+        assert_eq!(t.as_secs_f64(), 10.0);
+        assert_eq!((t - SimTime::from_secs_f64(4.0)).as_secs_f64(), 6.0);
+        // Saturating subtraction.
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime(5) < SimTime(6));
+        assert!(SimDuration(5) < SimDuration(6));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime(1_500_000).to_string(), "t=1.500000s");
+        assert_eq!(SimDuration(500).to_string(), "0.000500s");
+    }
+}

@@ -1,0 +1,380 @@
+//! Worker state: one execution slot plus a probe queue.
+
+use std::fmt;
+
+use phoenix_traces::JobId;
+
+use crate::probe::Probe;
+use crate::time::SimTime;
+
+/// Dense worker identifier; doubles as the index into the machine
+/// population of the [`phoenix_constraints::FeasibilityIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// The worker's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker-{}", self.0)
+    }
+}
+
+/// A task occupying one of a worker's execution slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningTask {
+    /// Owning job.
+    pub job: JobId,
+    /// When the task will complete.
+    pub finish_at: SimTime,
+    /// Effective execution time (after any soft-relaxation slowdown),
+    /// microseconds.
+    pub duration_us: u64,
+    /// Whether the task came from an early-bound (centralized) placement.
+    pub bound: bool,
+    /// Engine-assigned identifier pairing this task with its completion
+    /// event (needed once a worker has more than one slot).
+    pub seq: u64,
+}
+
+/// One worker: execution slot(s) and a reorderable probe queue.
+///
+/// The paper's simulator gives every worker exactly **one** slot (§V-A:
+/// "At each worker node, there is one slot for execution and a queue for
+/// tasks waiting to be executed") — the default here. Multi-slot workers
+/// are supported as an extension via [`Worker::with_slots`] /
+/// [`crate::SimConfig::slots_per_worker`].
+#[derive(Debug, Clone)]
+pub struct Worker {
+    slots: usize,
+    running: Vec<RunningTask>,
+    queue: Vec<Probe>,
+    /// Total busy microseconds accumulated (for utilization).
+    busy_us: u64,
+    /// Sum of bound task durations currently queued, microseconds (an
+    /// exact component of estimated queue work).
+    queued_bound_work_us: u64,
+}
+
+impl Default for Worker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Worker {
+    /// Creates an idle single-slot worker with an empty queue.
+    pub fn new() -> Self {
+        Self::with_slots(1)
+    }
+
+    /// Creates an idle worker with `slots` execution slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn with_slots(slots: usize) -> Self {
+        assert!(slots >= 1, "a worker needs at least one slot");
+        Worker {
+            slots,
+            running: Vec::with_capacity(slots),
+            queue: Vec::new(),
+            busy_us: 0,
+            queued_bound_work_us: 0,
+        }
+    }
+
+    /// Number of execution slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Whether no task is running on any slot.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_empty()
+    }
+
+    /// Whether at least one slot is free.
+    pub fn has_free_slot(&self) -> bool {
+        self.running.len() < self.slots
+    }
+
+    /// The running task, if any (the earliest-started one on multi-slot
+    /// workers).
+    pub fn running(&self) -> Option<&RunningTask> {
+        self.running.first()
+    }
+
+    /// All tasks currently occupying slots.
+    pub fn running_tasks(&self) -> &[RunningTask] {
+        &self.running
+    }
+
+    /// Occupies a free slot with a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every slot is busy.
+    pub fn start_task(&mut self, task: RunningTask, now: SimTime) {
+        assert!(self.has_free_slot(), "worker slot already busy");
+        self.busy_us += task.finish_at.since(now).as_micros();
+        self.running.push(task);
+    }
+
+    /// Clears the slot running the task with engine sequence `seq`,
+    /// returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no running task carries that sequence number.
+    pub fn finish_task(&mut self, seq: u64) -> RunningTask {
+        let idx = self
+            .running
+            .iter()
+            .position(|t| t.seq == seq)
+            .expect("no task running");
+        self.running.swap_remove(idx)
+    }
+
+    /// The probe queue, in service order.
+    pub fn queue(&self) -> &[Probe] {
+        &self.queue
+    }
+
+    /// Mutable access to the probe queue for policy reordering.
+    ///
+    /// Reordering must preserve the multiset of probes; the engine's
+    /// conservation accounting assumes probes are only added via
+    /// [`Worker::enqueue`] and removed via [`Worker::remove_probe`] /
+    /// [`Worker::steal_if`].
+    pub fn queue_mut(&mut self) -> &mut [Probe] {
+        &mut self.queue
+    }
+
+    /// Appends a probe to the tail of the queue.
+    pub fn enqueue(&mut self, probe: Probe) {
+        if let Some(d) = probe.bound_duration_us {
+            self.queued_bound_work_us += d;
+        }
+        self.queue.push(probe);
+    }
+
+    /// Removes and returns the probe at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove_probe(&mut self, index: usize) -> Probe {
+        let probe = self.queue.remove(index);
+        if let Some(d) = probe.bound_duration_us {
+            self.queued_bound_work_us -= d;
+        }
+        probe
+    }
+
+    /// Removes and returns every queued probe matching `predicate`
+    /// (used by work stealing).
+    pub fn steal_if(&mut self, mut predicate: impl FnMut(&Probe) -> bool) -> Vec<Probe> {
+        let mut stolen = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if predicate(&self.queue[i]) {
+                stolen.push(self.remove_probe(i));
+            } else {
+                i += 1;
+            }
+        }
+        stolen
+    }
+
+    /// Queue length.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sum of bound task durations in the queue, microseconds.
+    pub fn queued_bound_work_us(&self) -> u64 {
+        self.queued_bound_work_us
+    }
+
+    /// Total busy time accumulated, microseconds.
+    pub fn busy_us(&self) -> u64 {
+        self.busy_us
+    }
+
+    /// Moves the probe at `index` to the front of the queue, incrementing
+    /// the bypass counter of every probe it overtakes. Returns the number of
+    /// probes bypassed.
+    pub fn promote_to_front(&mut self, index: usize) -> usize {
+        self.promote(index, 0)
+    }
+
+    /// Moves the probe at `from` to position `to` (`to <= from`),
+    /// incrementing the bypass counter of every probe it overtakes.
+    /// Returns the number of probes bypassed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of bounds or `to > from`.
+    pub fn promote(&mut self, from: usize, to: usize) -> usize {
+        assert!(from < self.queue.len(), "promote index out of bounds");
+        assert!(to <= from, "promote must move toward the front");
+        if from == to {
+            return 0;
+        }
+        for p in &mut self.queue[to..from] {
+            p.bypass_count += 1;
+        }
+        self.queue[to..=from].rotate_right(1);
+        from - to
+    }
+
+    /// Inserts a probe at the *front* of the queue without touching bypass
+    /// counters.
+    ///
+    /// This models Eagle's Sticky Batch Probing: the worker that just
+    /// finished a task of a job immediately continues with that job's next
+    /// task — a continuation of service, not a reordering.
+    pub fn enqueue_front(&mut self, probe: Probe) {
+        if let Some(d) = probe.bound_duration_us {
+            self.queued_bound_work_us += d;
+        }
+        self.queue.insert(0, probe);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::ProbeId;
+
+    fn probe(id: u64, bound: Option<u64>) -> Probe {
+        Probe {
+            id: ProbeId(id),
+            job: JobId(0),
+            bound_duration_us: bound,
+            slowdown: 1.0,
+            enqueued_at: SimTime::ZERO,
+            bypass_count: 0,
+            migrations: 0,
+        }
+    }
+
+    #[test]
+    fn slot_lifecycle() {
+        let mut w = Worker::new();
+        assert!(w.is_idle());
+        w.start_task(
+            RunningTask {
+                job: JobId(1),
+                finish_at: SimTime(100),
+                duration_us: 60,
+                bound: false,
+                seq: 0,
+            },
+            SimTime(40),
+        );
+        assert!(!w.is_idle());
+        assert_eq!(w.busy_us(), 60);
+        let t = w.finish_task(0);
+        assert_eq!(t.job, JobId(1));
+        assert!(w.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "already busy")]
+    fn double_start_panics() {
+        let mut w = Worker::new();
+        let t = RunningTask {
+            job: JobId(1),
+            finish_at: SimTime(1),
+            duration_us: 1,
+            bound: false,
+            seq: 0,
+        };
+        w.start_task(t, SimTime::ZERO);
+        w.start_task(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn bound_work_accounting() {
+        let mut w = Worker::new();
+        w.enqueue(probe(1, Some(100)));
+        w.enqueue(probe(2, None));
+        w.enqueue(probe(3, Some(50)));
+        assert_eq!(w.queued_bound_work_us(), 150);
+        let p = w.remove_probe(0);
+        assert_eq!(p.id, ProbeId(1));
+        assert_eq!(w.queued_bound_work_us(), 50);
+    }
+
+    #[test]
+    fn steal_if_removes_matching() {
+        let mut w = Worker::new();
+        for i in 0..5 {
+            w.enqueue(probe(i, if i % 2 == 0 { None } else { Some(10) }));
+        }
+        let stolen = w.steal_if(|p| !p.is_bound());
+        assert_eq!(stolen.len(), 3);
+        assert_eq!(w.queue_len(), 2);
+        assert!(w.queue().iter().all(Probe::is_bound));
+        assert_eq!(w.queued_bound_work_us(), 20);
+    }
+
+    #[test]
+    fn promote_to_front_counts_bypasses() {
+        let mut w = Worker::new();
+        for i in 0..4 {
+            w.enqueue(probe(i, None));
+        }
+        let bypassed = w.promote_to_front(2);
+        assert_eq!(bypassed, 2);
+        let ids: Vec<u64> = w.queue().iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![2, 0, 1, 3]);
+        assert_eq!(w.queue()[1].bypass_count, 1);
+        assert_eq!(w.queue()[2].bypass_count, 1);
+        assert_eq!(w.queue()[3].bypass_count, 0);
+        // Promoting the head is a no-op.
+        assert_eq!(w.promote_to_front(0), 0);
+    }
+
+    #[test]
+    fn promote_partial_move() {
+        let mut w = Worker::new();
+        for i in 0..5 {
+            w.enqueue(probe(i, None));
+        }
+        let bypassed = w.promote(3, 1);
+        assert_eq!(bypassed, 2);
+        let ids: Vec<u64> = w.queue().iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![0, 3, 1, 2, 4]);
+        assert_eq!(w.queue()[0].bypass_count, 0, "head not overtaken");
+        assert_eq!(w.queue()[2].bypass_count, 1);
+        assert_eq!(w.queue()[3].bypass_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "toward the front")]
+    fn promote_backwards_panics() {
+        let mut w = Worker::new();
+        w.enqueue(probe(0, None));
+        w.enqueue(probe(1, None));
+        let _ = w.promote(0, 1);
+    }
+
+    #[test]
+    fn enqueue_front_skips_bypass_accounting() {
+        let mut w = Worker::new();
+        w.enqueue(probe(0, None));
+        w.enqueue_front(probe(1, Some(30)));
+        let ids: Vec<u64> = w.queue().iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![1, 0]);
+        assert_eq!(w.queue()[1].bypass_count, 0);
+        assert_eq!(w.queued_bound_work_us(), 30);
+    }
+}

@@ -1,0 +1,55 @@
+//! Tests for the opt-in machine-speed execution model.
+
+use phoenix_constraints::{AttributeVector, ConstraintSet, FeasibilityIndex};
+use phoenix_sim::{RandomScheduler, SimConfig, Simulation};
+use phoenix_traces::{Job, JobId, Trace};
+
+fn one_job_trace() -> Trace {
+    Trace::new(
+        "t",
+        vec![Job {
+            id: JobId(0),
+            arrival_s: 0.0,
+            task_durations_s: vec![100.0],
+            estimated_task_duration_s: 100.0,
+            constraints: ConstraintSet::unconstrained(),
+            short: true,
+            user: 0,
+        }],
+    )
+}
+
+fn run_on_clock(mhz: u32, scale: bool) -> f64 {
+    let machine = AttributeVector::builder().cpu_clock_mhz(mhz).build();
+    let config = SimConfig {
+        scale_duration_by_clock: scale,
+        ..SimConfig::default()
+    };
+    let result = Simulation::new(
+        config,
+        FeasibilityIndex::new(vec![machine]),
+        &one_job_trace(),
+        Box::new(RandomScheduler::new(1)),
+        1,
+    )
+    .run();
+    result.metrics.makespan.as_secs_f64()
+}
+
+#[test]
+fn faster_clock_finishes_sooner_when_enabled() {
+    let slow = run_on_clock(1_100, true); // half the reference clock
+    let reference = run_on_clock(2_200, true);
+    let fast = run_on_clock(4_400, true); // double
+    assert!((reference - 100.0).abs() < 0.1, "reference {reference}");
+    assert!((slow - 200.0).abs() < 0.5, "slow {slow}");
+    assert!((fast - 50.0).abs() < 0.5, "fast {fast}");
+}
+
+#[test]
+fn scaling_disabled_ignores_clock() {
+    let slow = run_on_clock(1_100, false);
+    let fast = run_on_clock(4_400, false);
+    assert!((slow - fast).abs() < 1e-6);
+    assert!((slow - 100.0).abs() < 0.1);
+}

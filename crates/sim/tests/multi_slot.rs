@@ -1,0 +1,70 @@
+//! Tests for the multi-slot worker extension (default remains the paper's
+//! one-slot-per-worker model).
+
+use phoenix_constraints::{AttributeVector, ConstraintSet, FeasibilityIndex};
+use phoenix_sim::{RandomScheduler, SimConfig, Simulation};
+use phoenix_traces::{Job, JobId, Trace};
+
+fn trace_with_tasks(n: usize, dur: f64) -> Trace {
+    Trace::new(
+        "t",
+        vec![Job {
+            id: JobId(0),
+            arrival_s: 0.0,
+            task_durations_s: vec![dur; n],
+            estimated_task_duration_s: dur,
+            constraints: ConstraintSet::unconstrained(),
+            short: true,
+            user: 0,
+        }],
+    )
+}
+
+fn makespan_with_slots(tasks: usize, slots: usize) -> f64 {
+    let config = SimConfig {
+        slots_per_worker: slots,
+        ..SimConfig::default()
+    };
+    let result = Simulation::new(
+        config,
+        FeasibilityIndex::new(vec![AttributeVector::default()]),
+        &trace_with_tasks(tasks, 10.0),
+        Box::new(RandomScheduler::new(1)),
+        1,
+    )
+    .run();
+    assert_eq!(result.incomplete_jobs, 0);
+    assert_eq!(result.counters.tasks_completed as usize, tasks);
+    result.metrics.makespan.as_secs_f64()
+}
+
+#[test]
+fn slots_parallelize_on_one_machine() {
+    let serial = makespan_with_slots(4, 1);
+    let dual = makespan_with_slots(4, 2);
+    let quad = makespan_with_slots(4, 4);
+    assert!((serial - 40.0).abs() < 0.1, "serial {serial}");
+    assert!((dual - 20.0).abs() < 0.1, "dual {dual}");
+    assert!((quad - 10.0).abs() < 0.1, "quad {quad}");
+}
+
+#[test]
+fn extra_slots_do_not_lose_or_duplicate_tasks() {
+    let config = SimConfig {
+        slots_per_worker: 3,
+        ..SimConfig::default()
+    };
+    let result = Simulation::new(
+        config,
+        FeasibilityIndex::new(vec![AttributeVector::default(); 2]),
+        &trace_with_tasks(17, 3.0),
+        Box::new(RandomScheduler::new(2)),
+        1,
+    )
+    .run();
+    assert_eq!(result.counters.tasks_completed, 17);
+    assert_eq!(
+        result.counters.probes_sent,
+        result.counters.tasks_completed + result.counters.redundant_probes
+    );
+}

@@ -1,0 +1,90 @@
+//! Property tests on worker-queue mechanics: any sequence of enqueues,
+//! promotions, removals and steals preserves the probe multiset and the
+//! bound-work accounting.
+
+use proptest::prelude::*;
+
+use phoenix_sim::{Probe, ProbeId, SimTime, Worker};
+use phoenix_traces::JobId;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue { id: u64, bound: Option<u64> },
+    EnqueueFront { id: u64, bound: Option<u64> },
+    Promote { from: usize, to: usize },
+    Remove { index: usize },
+    StealBound,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..1_000, prop::option::of(1u64..500))
+            .prop_map(|(id, bound)| Op::Enqueue { id, bound }),
+        (0u64..1_000, prop::option::of(1u64..500))
+            .prop_map(|(id, bound)| Op::EnqueueFront { id, bound }),
+        (0usize..32, 0usize..32).prop_map(|(from, to)| Op::Promote { from, to }),
+        (0usize..32).prop_map(|index| Op::Remove { index }),
+        Just(Op::StealBound),
+    ]
+}
+
+fn probe(id: u64, bound: Option<u64>) -> Probe {
+    Probe {
+        id: ProbeId(id),
+        job: JobId(0),
+        bound_duration_us: bound,
+        slowdown: 1.0,
+        enqueued_at: SimTime::ZERO,
+        bypass_count: 0,
+        migrations: 0,
+    }
+}
+
+proptest! {
+    #[test]
+    fn queue_surgery_preserves_multiset_and_bound_work(ops in prop::collection::vec(arb_op(), 0..64)) {
+        let mut worker = Worker::new();
+        // Shadow model: plain vector of (id, bound).
+        let mut shadow: Vec<(u64, Option<u64>)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Enqueue { id, bound } => {
+                    worker.enqueue(probe(id, bound));
+                    shadow.push((id, bound));
+                }
+                Op::EnqueueFront { id, bound } => {
+                    worker.enqueue_front(probe(id, bound));
+                    shadow.insert(0, (id, bound));
+                }
+                Op::Promote { from, to } => {
+                    if from < worker.queue_len() && to <= from {
+                        worker.promote(from, to);
+                        let moved = shadow.remove(from);
+                        shadow.insert(to, moved);
+                    }
+                }
+                Op::Remove { index } => {
+                    if index < worker.queue_len() {
+                        let removed = worker.remove_probe(index);
+                        let expected = shadow.remove(index);
+                        prop_assert_eq!(removed.id.0, expected.0);
+                    }
+                }
+                Op::StealBound => {
+                    let stolen = worker.steal_if(|p| p.is_bound());
+                    let expected: Vec<_> =
+                        shadow.iter().filter(|(_, b)| b.is_some()).cloned().collect();
+                    shadow.retain(|(_, b)| b.is_none());
+                    prop_assert_eq!(stolen.len(), expected.len());
+                }
+            }
+            // Invariants after every op.
+            prop_assert_eq!(worker.queue_len(), shadow.len());
+            let bound_work: u64 = shadow.iter().filter_map(|(_, b)| *b).sum();
+            prop_assert_eq!(worker.queued_bound_work_us(), bound_work);
+            let ids: Vec<u64> = worker.queue().iter().map(|p| p.id.0).collect();
+            let expected_ids: Vec<u64> = shadow.iter().map(|(id, _)| *id).collect();
+            prop_assert_eq!(ids, expected_ids, "order must match the model");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Validates the discrete-event engine against closed-form queueing
+//! theory: a single worker fed Poisson arrivals must reproduce the M/M/1
+//! and M/D/1 mean waiting times (the same Pollaczek–Khinchine formula
+//! Phoenix's estimator uses — Equation 1 of the paper).
+
+use phoenix_constraints::{AttributeVector, ConstraintSet, FeasibilityIndex};
+use phoenix_metrics::{md1_mean_wait, mm1_mean_wait};
+use phoenix_sim::{RandomScheduler, SimConfig, Simulation};
+use phoenix_traces::{Exponential, Job, JobId, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a single-queue workload: Poisson arrivals at `lambda`, one task
+/// per job with durations from `service`.
+fn single_queue_trace(
+    lambda: f64,
+    n: usize,
+    mut service: impl FnMut(&mut StdRng) -> f64,
+    seed: u64,
+) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gaps = Exponential::new(lambda);
+    let mut t = 0.0;
+    let jobs = (0..n)
+        .map(|i| {
+            t += gaps.sample(&mut rng);
+            let d = service(&mut rng);
+            Job {
+                id: JobId(i as u32),
+                arrival_s: t,
+                task_durations_s: vec![d],
+                estimated_task_duration_s: d,
+                constraints: ConstraintSet::unconstrained(),
+                short: true,
+                user: 0,
+            }
+        })
+        .collect();
+    Trace::new("single-queue", jobs)
+}
+
+/// Mean task wait when the trace runs on exactly one worker with FIFO
+/// service (RandomScheduler with probe ratio 1 has no choice to make).
+fn simulate_mean_wait(trace: &Trace) -> f64 {
+    let cluster = vec![AttributeVector::default()];
+    let result = Simulation::new(
+        SimConfig::default(),
+        FeasibilityIndex::new(cluster),
+        trace,
+        Box::new(RandomScheduler::new(1)),
+        1,
+    )
+    .run();
+    assert_eq!(result.incomplete_jobs, 0);
+    result.metrics.task_waits.mean()
+}
+
+#[test]
+fn engine_matches_mm1_theory() {
+    // ρ = 0.7: E[W] = 0.7/0.3 · 1 = 2.333… seconds.
+    let lambda = 0.7;
+    let mean_service = 1.0;
+    let service = Exponential::new(1.0 / mean_service);
+    let trace = single_queue_trace(lambda, 200_000, |rng| service.sample(rng), 42);
+    let measured = simulate_mean_wait(&trace);
+    let theory = mm1_mean_wait(lambda, mean_service);
+    let err = (measured - theory).abs() / theory;
+    assert!(
+        err < 0.08,
+        "M/M/1: measured {measured:.3}s vs theory {theory:.3}s (err {err:.3})"
+    );
+}
+
+#[test]
+fn engine_matches_md1_theory() {
+    // Deterministic service: E[W] is exactly half the M/M/1 value.
+    let lambda = 0.7;
+    let service = 1.0;
+    let trace = single_queue_trace(lambda, 200_000, |_| service, 43);
+    let measured = simulate_mean_wait(&trace);
+    let theory = md1_mean_wait(lambda, service);
+    let err = (measured - theory).abs() / theory;
+    assert!(
+        err < 0.08,
+        "M/D/1: measured {measured:.3}s vs theory {theory:.3}s (err {err:.3})"
+    );
+}
+
+#[test]
+fn engine_wait_ordering_follows_load() {
+    // Sanity across loads: measured waits are monotone in ρ and bracketed
+    // by the closed forms' ordering (M/D/1 < M/G/1 hyperexponential).
+    let mut last = 0.0;
+    for &lambda in &[0.3, 0.5, 0.8] {
+        let service = Exponential::new(1.0);
+        let trace = single_queue_trace(lambda, 100_000, |rng| service.sample(rng), 44);
+        let measured = simulate_mean_wait(&trace);
+        assert!(
+            measured > last,
+            "wait must grow with load: {measured} after {last}"
+        );
+        last = measured;
+    }
+}

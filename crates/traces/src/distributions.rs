@@ -1,0 +1,223 @@
+//! Minimal continuous-distribution samplers.
+//!
+//! Implemented from first principles (inverse-transform sampling and
+//! Box–Muller) to keep the dependency set to `rand` alone.
+
+use rand::Rng;
+
+/// Bounded (truncated) Pareto distribution on `[min, max]`.
+///
+/// Task execution times in the evaluated traces are "Pareto bound" (§V-A);
+/// the bounded variant keeps simulated makespans finite while preserving the
+/// heavy tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    /// Tail index; smaller is heavier-tailed. Must be positive.
+    pub alpha: f64,
+    /// Lower bound (inclusive), must be positive.
+    pub min: f64,
+    /// Upper bound, must exceed `min`.
+    pub max: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min < max` and `alpha > 0`.
+    pub fn new(alpha: f64, min: f64, max: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(min > 0.0 && max > min, "need 0 < min < max");
+        BoundedPareto { alpha, min, max }
+    }
+
+    /// Draws one sample via inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().clamp(f64::MIN_POSITIVE, 1.0);
+        let l = self.min.powf(self.alpha);
+        let h = self.max.powf(self.alpha);
+        // Inverse CDF of the truncated Pareto.
+        let x = (-(u * h - u * l - h) / (h * l)).powf(-1.0 / self.alpha);
+        x.clamp(self.min, self.max)
+    }
+
+    /// Closed-form mean of the bounded Pareto.
+    pub fn mean(&self) -> f64 {
+        let a = self.alpha;
+        let (l, h) = (self.min, self.max);
+        if (a - 1.0).abs() < 1e-9 {
+            // alpha == 1 limit.
+            let la = l.powf(a);
+            let ha = h.powf(a);
+            return la * ha / (ha - la) * a * (h / l).ln();
+        }
+        let la = l.powf(a);
+        let ha = h.powf(a);
+        (la / (1.0 - la / ha)) * (a / (a - 1.0)) * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
+    }
+}
+
+/// Log-normal distribution parameterized by the underlying normal's
+/// `mu`/`sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X`; must be non-negative.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or parameters are non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal with a given distribution mean and coefficient
+    /// of variation of the underlying normal scale.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        // E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+        Self::new(mean.ln() - sigma * sigma / 2.0, sigma)
+    }
+
+    /// Draws one sample via Box–Muller.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.random::<f64>().clamp(f64::MIN_POSITIVE, 1.0);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    /// The distribution mean `exp(mu + sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Exponential distribution with a given rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter (events per unit time); must be positive.
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        Exponential { rate }
+    }
+
+    /// Draws one sample via inverse transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>().clamp(f64::MIN_POSITIVE, 1.0);
+        -u.ln() / self.rate
+    }
+
+    /// The mean `1 / rate`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let d = BoundedPareto::new(1.3, 0.5, 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((0.5..=100.0).contains(&x), "{x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_empirical_mean_matches_closed_form() {
+        let d = BoundedPareto::new(1.5, 1.0, 1000.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let emp = sum / n as f64;
+        let theory = d.mean();
+        assert!(
+            (emp - theory).abs() / theory < 0.05,
+            "empirical {emp} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        let d = BoundedPareto::new(1.1, 1.0, 10_000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let p999 = samples[samples.len() * 999 / 1000];
+        assert!(
+            p999 / median > 50.0,
+            "tail ratio {} too light",
+            p999 / median
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min < max")]
+    fn bounded_pareto_rejects_bad_bounds() {
+        let _ = BoundedPareto::new(1.0, 5.0, 5.0);
+    }
+
+    #[test]
+    fn lognormal_mean_parameterization() {
+        let d = LogNormal::with_mean(12.0, 0.8);
+        assert!((d.mean() - 12.0).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 200_000;
+        let emp: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((emp - 12.0).abs() / 12.0 < 0.05, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn lognormal_samples_are_positive() {
+        let d = LogNormal::new(0.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(0.25);
+        assert_eq!(d.mean(), 4.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 100_000;
+        let emp: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((emp - 4.0).abs() < 0.1, "empirical mean {emp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+}

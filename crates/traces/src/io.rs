@@ -1,0 +1,296 @@
+//! Plain-text trace serialization.
+//!
+//! Synthesized traces can be exported, inspected, edited and replayed.
+//! The format is line-oriented and self-describing (no serialization
+//! crates in the dependency budget):
+//!
+//! ```text
+//! # phoenix-trace v1
+//! name <trace-name>
+//! job <arrival_s> <short|long> <placement> durations=<d1,d2,...> constraints=<class:kind:op:value;...|-> user=<n>
+//! ```
+//!
+//! Floating-point fields round-trip exactly (Rust's shortest-representation
+//! `Display`).
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use phoenix_constraints::{
+    Constraint, ConstraintClass, ConstraintKind, ConstraintOp, ConstraintSet, PlacementConstraint,
+};
+
+use crate::job::{Job, JobId, Trace};
+
+/// Errors produced when reading a trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not match the format (line number, message).
+    Parse(usize, String),
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            ReadTraceError::Parse(line, msg) => {
+                write!(f, "trace parse error at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Parse(..) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+const HEADER: &str = "# phoenix-trace v1";
+
+/// Writes `trace` in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "{HEADER}")?;
+    writeln!(writer, "name {}", trace.name())?;
+    for job in trace {
+        write!(
+            writer,
+            "job {} {} {} durations=",
+            job.arrival_s,
+            if job.short { "short" } else { "long" },
+            job.constraints.placement(),
+        )?;
+        for (i, d) in job.task_durations_s.iter().enumerate() {
+            if i > 0 {
+                write!(writer, ",")?;
+            }
+            write!(writer, "{d}")?;
+        }
+        write!(writer, " constraints=")?;
+        if job.constraints.is_empty() {
+            write!(writer, "-")?;
+        } else {
+            for (i, c) in job.constraints.iter().enumerate() {
+                if i > 0 {
+                    write!(writer, ";")?;
+                }
+                write!(writer, "{}:{}:{}:{}", c.class, c.kind, c.op, c.value)?;
+            }
+        }
+        write!(writer, " user={}", job.user)?;
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+fn parse_constraint(token: &str, line: usize) -> Result<Constraint, ReadTraceError> {
+    let parts: Vec<&str> = token.split(':').collect();
+    if parts.len() != 4 {
+        return Err(ReadTraceError::Parse(
+            line,
+            format!("constraint '{token}' must have 4 ':'-separated fields"),
+        ));
+    }
+    let class = ConstraintClass::from_name(parts[0])
+        .ok_or_else(|| ReadTraceError::Parse(line, format!("unknown class '{}'", parts[0])))?;
+    let kind = ConstraintKind::from_name(parts[1])
+        .ok_or_else(|| ReadTraceError::Parse(line, format!("unknown kind '{}'", parts[1])))?;
+    let op = ConstraintOp::from_symbol(parts[2])
+        .ok_or_else(|| ReadTraceError::Parse(line, format!("unknown op '{}'", parts[2])))?;
+    let value: u64 = parts[3]
+        .parse()
+        .map_err(|_| ReadTraceError::Parse(line, format!("bad value '{}'", parts[3])))?;
+    Ok(Constraint::new(kind, op, value, class))
+}
+
+/// Reads a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failures, a missing/incorrect header,
+/// or any malformed line.
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| ReadTraceError::Parse(1, "empty input".into()))?;
+    if header.trim() != HEADER {
+        return Err(ReadTraceError::Parse(
+            1,
+            format!("expected header '{HEADER}', found '{header}'"),
+        ));
+    }
+    let mut name = String::from("unnamed");
+    let mut jobs = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(n) = line.strip_prefix("name ") {
+            name = n.to_string();
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("job ") else {
+            return Err(ReadTraceError::Parse(
+                line_no,
+                format!("unrecognized line '{line}'"),
+            ));
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        if fields.len() != 5 && fields.len() != 6 {
+            return Err(ReadTraceError::Parse(
+                line_no,
+                format!("job line must have 5 or 6 fields, found {}", fields.len()),
+            ));
+        }
+        let arrival_s: f64 = fields[0]
+            .parse()
+            .map_err(|_| ReadTraceError::Parse(line_no, format!("bad arrival '{}'", fields[0])))?;
+        let short = match fields[1] {
+            "short" => true,
+            "long" => false,
+            other => {
+                return Err(ReadTraceError::Parse(
+                    line_no,
+                    format!("expected short|long, found '{other}'"),
+                ))
+            }
+        };
+        let placement = PlacementConstraint::from_name(fields[2]).ok_or_else(|| {
+            ReadTraceError::Parse(line_no, format!("unknown placement '{}'", fields[2]))
+        })?;
+        let durations_str = fields[3]
+            .strip_prefix("durations=")
+            .ok_or_else(|| ReadTraceError::Parse(line_no, "missing durations= field".into()))?;
+        let task_durations_s: Vec<f64> = durations_str
+            .split(',')
+            .map(|d| {
+                d.parse()
+                    .map_err(|_| ReadTraceError::Parse(line_no, format!("bad duration '{d}'")))
+            })
+            .collect::<Result<_, _>>()?;
+        if task_durations_s.is_empty() {
+            return Err(ReadTraceError::Parse(line_no, "job has no tasks".into()));
+        }
+        let constraints_str = fields[4]
+            .strip_prefix("constraints=")
+            .ok_or_else(|| ReadTraceError::Parse(line_no, "missing constraints= field".into()))?;
+        let constraints = if constraints_str == "-" {
+            Vec::new()
+        } else {
+            constraints_str
+                .split(';')
+                .map(|t| parse_constraint(t, line_no))
+                .collect::<Result<_, _>>()?
+        };
+        let user = match fields.get(5) {
+            Some(f) => {
+                let u = f.strip_prefix("user=").ok_or_else(|| {
+                    ReadTraceError::Parse(line_no, "sixth field must be user=<n>".into())
+                })?;
+                u.parse()
+                    .map_err(|_| ReadTraceError::Parse(line_no, format!("bad user '{u}'")))?
+            }
+            None => 0,
+        };
+        let estimated = task_durations_s.iter().sum::<f64>() / task_durations_s.len() as f64;
+        jobs.push(Job {
+            id: JobId(jobs.len() as u32),
+            arrival_s,
+            task_durations_s,
+            estimated_task_duration_s: estimated,
+            constraints: ConstraintSet::from_constraints(constraints).with_placement(placement),
+            short,
+            user,
+        });
+    }
+    Ok(Trace::new(name, jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::profile::TraceProfile;
+
+    #[test]
+    fn generated_trace_round_trips() {
+        let trace = TraceGenerator::new(TraceProfile::google(), 7).generate(300, 100, 0.7);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.name(), trace.name());
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(back.iter()) {
+            assert_eq!(a.arrival_s, b.arrival_s, "exact float round trip");
+            assert_eq!(a.task_durations_s, b.task_durations_s);
+            assert_eq!(a.constraints, b.constraints);
+            assert_eq!(a.short, b.short);
+        }
+    }
+
+    #[test]
+    fn header_is_mandatory() {
+        let err = read_trace("not a trace\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse(1, _)), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!(
+            "{HEADER}\nname t\n\n# a comment\njob 1.5 short none durations=2,3 constraints=-\n"
+        );
+        let trace = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.jobs()[0].num_tasks(), 2);
+        assert!(trace.jobs()[0].short);
+    }
+
+    #[test]
+    fn constrained_job_parses() {
+        let text = format!(
+            "{HEADER}\njob 0 long spread durations=100 constraints=hard:arch:=:0;soft:cpu_clock:>:2500\n"
+        );
+        let trace = read_trace(text.as_bytes()).unwrap();
+        let job = &trace.jobs()[0];
+        assert_eq!(job.constraints.len(), 2);
+        assert_eq!(job.constraints.placement(), PlacementConstraint::Spread);
+        assert!(!job.short);
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let text = format!("{HEADER}\njob nope short none durations=1 constraints=-\n");
+        match read_trace(text.as_bytes()) {
+            Err(ReadTraceError::Parse(2, msg)) => assert!(msg.contains("arrival"), "{msg}"),
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+        let text = format!("{HEADER}\njob 1 short none durations=1 constraints=hard:bogus:=:1\n");
+        assert!(read_trace(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        let e = ReadTraceError::Parse(3, "boom".into());
+        assert!(e.to_string().contains("line 3"));
+    }
+}

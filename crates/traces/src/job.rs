@@ -1,0 +1,191 @@
+//! The job/trace model consumed by the simulator.
+
+use std::fmt;
+
+use phoenix_constraints::ConstraintSet;
+
+/// Identifier of a job within a trace (dense, generation order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// One job of a trace: an arrival time, a bag of tasks, and the constraint
+/// set shared by its tasks.
+///
+/// Per the simulators the paper builds on, a job's tasks are independent
+/// (no DAG) and the job completes when its last task completes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Job identifier (dense within a trace).
+    pub id: JobId,
+    /// Arrival time in seconds since trace start.
+    pub arrival_s: f64,
+    /// True duration of each task, seconds.
+    pub task_durations_s: Vec<f64>,
+    /// Scheduler-visible estimate of the per-task duration (the simulators
+    /// of Hawk/Eagle assume runtime estimates are available).
+    pub estimated_task_duration_s: f64,
+    /// Placement constraints shared by all tasks of the job.
+    pub constraints: ConstraintSet,
+    /// Whether the generator classified the job as short (latency-critical).
+    pub short: bool,
+    /// Submitting user/tenant (fair-share schedulers allocate per user).
+    pub user: u32,
+}
+
+impl Job {
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.task_durations_s.len()
+    }
+
+    /// Total work (sum of task durations), seconds.
+    pub fn total_work_s(&self) -> f64 {
+        self.task_durations_s.iter().sum()
+    }
+
+    /// Whether the job carries any constraint (attribute or placement).
+    pub fn is_constrained(&self) -> bool {
+        !self.constraints.is_unconstrained()
+    }
+}
+
+/// A complete workload trace: jobs sorted by arrival time.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    name: String,
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting jobs by arrival time and re-assigning dense
+    /// ids in arrival order.
+    pub fn new(name: impl Into<String>, mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by(|a, b| {
+            a.arrival_s
+                .partial_cmp(&b.arrival_s)
+                .expect("arrival times are finite")
+        });
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.id = JobId(i as u32);
+        }
+        Trace {
+            name: name.into(),
+            jobs,
+        }
+    }
+
+    /// The trace's display name (e.g. `"google"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The jobs, in arrival order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total number of tasks across all jobs.
+    pub fn num_tasks(&self) -> usize {
+        self.jobs.iter().map(Job::num_tasks).sum()
+    }
+
+    /// Total work across all jobs, seconds.
+    pub fn total_work_s(&self) -> f64 {
+        self.jobs.iter().map(Job::total_work_s).sum()
+    }
+
+    /// Time of the last arrival, seconds (0 when empty).
+    pub fn horizon_s(&self) -> f64 {
+        self.jobs.last().map_or(0.0, |j| j.arrival_s)
+    }
+
+    /// Iterates over the jobs.
+    pub fn iter(&self) -> std::slice::Iter<'_, Job> {
+        self.jobs.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Job;
+    type IntoIter = std::slice::Iter<'a, Job>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.jobs.iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace '{}': {} jobs, {} tasks, horizon {:.0}s",
+            self.name,
+            self.len(),
+            self.num_tasks(),
+            self.horizon_s()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, arrival: f64, durations: Vec<f64>) -> Job {
+        Job {
+            id: JobId(id),
+            arrival_s: arrival,
+            estimated_task_duration_s: durations.iter().sum::<f64>()
+                / durations.len().max(1) as f64,
+            task_durations_s: durations,
+            constraints: ConstraintSet::unconstrained(),
+            short: true,
+            user: 0,
+        }
+    }
+
+    #[test]
+    fn trace_sorts_and_renumbers() {
+        let t = Trace::new(
+            "t",
+            vec![job(5, 10.0, vec![1.0]), job(9, 2.0, vec![2.0, 3.0])],
+        );
+        assert_eq!(t.jobs()[0].id, JobId(0));
+        assert_eq!(t.jobs()[0].arrival_s, 2.0);
+        assert_eq!(t.jobs()[1].id, JobId(1));
+        assert_eq!(t.num_tasks(), 3);
+        assert_eq!(t.horizon_s(), 10.0);
+    }
+
+    #[test]
+    fn job_aggregates() {
+        let j = job(0, 0.0, vec![1.0, 2.0, 3.0]);
+        assert_eq!(j.num_tasks(), 3);
+        assert!((j.total_work_s() - 6.0).abs() < 1e-12);
+        assert!(!j.is_constrained());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("empty", vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.horizon_s(), 0.0);
+        assert_eq!(t.total_work_s(), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Workload and trace synthesis for the Phoenix scheduler reproduction.
+//!
+//! The paper evaluates on three production traces — **Google**, **Cloudera**
+//! and **Yahoo** — characterized in §V-A as *bursty and unpredictable* (peak
+//! to median arrival-rate ratios of 9:1 to 260:1) with *Pareto-bound task
+//! execution times* and 80–95 % short jobs; roughly half of all tasks carry
+//! placement constraints (Table III). The raw traces are not redistributable
+//! (Google's is obfuscated; Yahoo/Cloudera are private), so — exactly like
+//! the paper does for constraints — we *synthesize* job streams matching the
+//! published statistics:
+//!
+//! * [`distributions`] — bounded-Pareto and log-normal samplers built on
+//!   plain inverse-transform / Box–Muller (no external distribution crate).
+//! * [`arrival`] — a two-state Markov-modulated Poisson process reproducing
+//!   the bursty arrival pattern with a configurable peak:median ratio.
+//! * [`job`] — the [`Job`]/[`Trace`] model consumed by the simulator.
+//! * [`profile`] — the per-trace parameter sets ([`TraceProfile::google`],
+//!   [`TraceProfile::cloudera`], [`TraceProfile::yahoo`]).
+//! * [`generator`] — [`TraceGenerator`], which turns a profile into a
+//!   concrete [`Trace`] at a chosen scale and target utilization.
+//! * [`stats`] — validation statistics (burstiness, class mix, constraint
+//!   mix) used by tests and the experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod distributions;
+pub mod generator;
+pub mod io;
+pub mod job;
+pub mod profile;
+pub mod stats;
+
+pub use arrival::{ArrivalProcess, BurstModel};
+pub use distributions::{BoundedPareto, Exponential, LogNormal};
+pub use generator::TraceGenerator;
+pub use io::{read_trace, write_trace, ReadTraceError};
+pub use job::{Job, JobId, Trace};
+pub use profile::TraceProfile;
+pub use stats::TraceStats;

@@ -1,0 +1,162 @@
+//! Trace validation statistics.
+//!
+//! Used by tests to check that synthesized traces match the published
+//! characteristics and by the experiment binaries to print Table-III-style
+//! summaries.
+
+use std::fmt;
+
+use crate::job::Trace;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of tasks belonging to constrained jobs.
+    pub constrained_tasks: usize,
+    /// Number of tasks belonging to unconstrained jobs.
+    pub unconstrained_tasks: usize,
+    /// Fraction of jobs that are short.
+    pub short_job_fraction: f64,
+    /// Peak:median ratio of per-window job-arrival counts.
+    pub peak_to_median: f64,
+    /// Mean task duration, seconds.
+    pub mean_task_duration_s: f64,
+    /// Trace horizon (last arrival), seconds.
+    pub horizon_s: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace using `window_s`-second windows for
+    /// the burstiness measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not positive.
+    pub fn measure(trace: &Trace, window_s: f64) -> Self {
+        assert!(window_s > 0.0, "window must be positive");
+        let jobs = trace.len();
+        let tasks = trace.num_tasks();
+        let constrained_tasks: usize = trace
+            .iter()
+            .filter(|j| j.is_constrained())
+            .map(|j| j.num_tasks())
+            .sum();
+        let short_jobs = trace.iter().filter(|j| j.short).count();
+        let total_duration: f64 = trace.total_work_s();
+
+        // Windowed arrival counts for peak:median.
+        let horizon = trace.horizon_s();
+        let peak_to_median = if jobs < 2 || horizon <= 0.0 {
+            1.0
+        } else {
+            let buckets = (horizon / window_s).ceil() as usize + 1;
+            let mut counts = vec![0u32; buckets];
+            for job in trace {
+                counts[(job.arrival_s / window_s) as usize] += 1;
+            }
+            let mut nonzero: Vec<u32> = counts.into_iter().filter(|&c| c > 0).collect();
+            nonzero.sort_unstable();
+            let median = nonzero[nonzero.len() / 2] as f64;
+            let peak = *nonzero.last().expect("at least one window") as f64;
+            peak / median
+        };
+
+        TraceStats {
+            jobs,
+            tasks,
+            constrained_tasks,
+            unconstrained_tasks: tasks - constrained_tasks,
+            short_job_fraction: if jobs == 0 {
+                0.0
+            } else {
+                short_jobs as f64 / jobs as f64
+            },
+            peak_to_median,
+            mean_task_duration_s: if tasks == 0 {
+                0.0
+            } else {
+                total_duration / tasks as f64
+            },
+            horizon_s: horizon,
+        }
+    }
+
+    /// Fraction of tasks that are constrained.
+    pub fn constrained_task_fraction(&self) -> f64 {
+        if self.tasks == 0 {
+            return 0.0;
+        }
+        self.constrained_tasks as f64 / self.tasks as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "jobs:               {}", self.jobs)?;
+        writeln!(f, "tasks:              {}", self.tasks)?;
+        writeln!(f, "constrained tasks:  {}", self.constrained_tasks)?;
+        writeln!(f, "unconstrained:      {}", self.unconstrained_tasks)?;
+        writeln!(
+            f,
+            "short jobs:         {:.2}%",
+            self.short_job_fraction * 100.0
+        )?;
+        writeln!(f, "peak:median:        {:.1}:1", self.peak_to_median)?;
+        writeln!(f, "mean task duration: {:.2}s", self.mean_task_duration_s)?;
+        write!(f, "horizon:            {:.0}s", self.horizon_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::profile::TraceProfile;
+
+    #[test]
+    fn stats_of_generated_trace_match_profile() {
+        let g = TraceGenerator::new(TraceProfile::yahoo(), 21);
+        let trace = g.generate(8_000, 500, 0.7);
+        let stats = TraceStats::measure(&trace, 10.0);
+        assert_eq!(stats.jobs, 8_000);
+        assert!((stats.short_job_fraction - 0.9156).abs() < 0.01);
+        let cf = stats.constrained_task_fraction();
+        assert!((cf - 0.488).abs() < 0.06, "constrained task fraction {cf}");
+        assert!(stats.tasks > 8_000, "multi-task jobs expected");
+    }
+
+    #[test]
+    fn burstiness_ordering_across_profiles() {
+        let yahoo = TraceGenerator::new(TraceProfile::yahoo(), 33).generate(20_000, 500, 0.7);
+        let google = TraceGenerator::new(TraceProfile::google(), 33).generate(20_000, 500, 0.7);
+        let sy = TraceStats::measure(&yahoo, 5.0);
+        let sg = TraceStats::measure(&google, 5.0);
+        assert!(
+            sg.peak_to_median > sy.peak_to_median,
+            "google ({:.1}) must be burstier than yahoo ({:.1})",
+            sg.peak_to_median,
+            sy.peak_to_median
+        );
+        assert!(sy.peak_to_median > 2.0, "yahoo should still be bursty");
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zeroed() {
+        let stats = TraceStats::measure(&Trace::new("empty", vec![]), 10.0);
+        assert_eq!(stats.jobs, 0);
+        assert_eq!(stats.constrained_task_fraction(), 0.0);
+        assert_eq!(stats.peak_to_median, 1.0);
+    }
+
+    #[test]
+    fn display_includes_key_rows() {
+        let g = TraceGenerator::new(TraceProfile::yahoo(), 1);
+        let stats = TraceStats::measure(&g.generate(100, 100, 0.5), 10.0);
+        let s = stats.to_string();
+        assert!(s.contains("jobs:") && s.contains("peak:median"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Constraint storm: a hand-built adversarial scenario exercising
+//! Phoenix's admission control and CRV reordering.
+//!
+//! A small cluster with a scarce ARM pool receives a storm of short jobs
+//! that all demand ARM machines (some with an additionally unsatisfiable
+//! soft clock constraint), interleaved with unconstrained filler. Watch
+//! Phoenix negotiate the soft constraints away, reorder the scarce queues,
+//! and keep both job groups moving.
+//!
+//! ```sh
+//! cargo run --release --example constraint_storm
+//! ```
+
+use phoenix::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_cluster() -> Vec<AttributeVector> {
+    let mut machines = Vec::new();
+    // 90 commodity x86 machines at 2.2 GHz.
+    for i in 0..90u32 {
+        machines.push(
+            AttributeVector::builder()
+                .isa(Isa::X86)
+                .num_cores(16)
+                .cpu_clock_mhz(2_200)
+                .rack(i / 30)
+                .build(),
+        );
+    }
+    // A scarce pool of 10 ARM machines, also at 2.2 GHz: the storm target.
+    for i in 0..10u32 {
+        machines.push(
+            AttributeVector::builder()
+                .isa(Isa::Arm)
+                .num_cores(32)
+                .cpu_clock_mhz(2_200)
+                .rack(3 + i / 5)
+                .build(),
+        );
+    }
+    machines
+}
+
+fn main() {
+    let machines = build_cluster();
+    let arm = ConstraintSet::from_constraints(vec![Constraint::hard(
+        ConstraintKind::Architecture,
+        ConstraintOp::Eq,
+        Isa::Arm as u64,
+    )]);
+    // ARM plus a soft clock demand no machine in this cluster satisfies —
+    // admission control must relax it (with the Table II slowdown) instead
+    // of failing the job.
+    let arm_fast = ConstraintSet::from_constraints(vec![
+        Constraint::hard(
+            ConstraintKind::Architecture,
+            ConstraintOp::Eq,
+            Isa::Arm as u64,
+        ),
+        Constraint::soft(ConstraintKind::CpuClockSpeed, ConstraintOp::Gt, 3_000),
+    ]);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut jobs = Vec::new();
+    let mut push_job =
+        |id: u32, arrival: f64, tasks: usize, dur: f64, set: ConstraintSet, short| {
+            jobs.push(Job {
+                id: JobId(id),
+                arrival_s: arrival,
+                task_durations_s: vec![dur; tasks],
+                estimated_task_duration_s: dur,
+                constraints: set,
+                short,
+                user: id % 7,
+            });
+        };
+    let mut id = 0;
+    // Background filler: unconstrained short jobs, steady arrivals.
+    for i in 0..300 {
+        push_job(
+            id,
+            i as f64 * 2.0,
+            2,
+            20.0,
+            ConstraintSet::unconstrained(),
+            true,
+        );
+        id += 1;
+    }
+    // The storm: between t=100 and t=160, sixty ARM-demanding jobs arrive.
+    for i in 0..60 {
+        let set = if i % 3 == 0 {
+            arm_fast.clone()
+        } else {
+            arm.clone()
+        };
+        use rand::Rng;
+        let jitter: f64 = rng.random::<f64>();
+        push_job(id, 100.0 + i as f64 + jitter, 3, 30.0, set, true);
+        id += 1;
+    }
+    let trace = Trace::new("constraint-storm", jobs);
+
+    for kind in [SchedulerKind::Phoenix, SchedulerKind::EagleC] {
+        let result = Simulation::new(
+            SimConfig::default(),
+            FeasibilityIndex::new(machines.clone()),
+            &trace,
+            kind.build(500.0),
+            3,
+        )
+        .run();
+        let constrained_key = LatencyKey::new(JobClass::Short, ConstraintStatus::Constrained);
+        let unconstrained_key = LatencyKey::new(JobClass::Short, ConstraintStatus::Unconstrained);
+        println!("== {} ==", result.scheduler);
+        println!(
+            "  storm (ARM) jobs:   p50 {:>7.1}s  p99 {:>7.1}s",
+            result.response_percentile(constrained_key, 50.0),
+            result.response_percentile(constrained_key, 99.0),
+        );
+        println!(
+            "  filler jobs:        p50 {:>7.1}s  p99 {:>7.1}s",
+            result.response_percentile(unconstrained_key, 50.0),
+            result.response_percentile(unconstrained_key, 99.0),
+        );
+        println!(
+            "  failed {}, relaxed tasks {}, crv reorders {}, migrations {}\n",
+            result.counters.jobs_failed,
+            result.counters.relaxed_tasks,
+            result.counters.crv_reordered_tasks,
+            result.counters.migrated_probes,
+        );
+        assert_eq!(
+            result.counters.jobs_failed, 0,
+            "soft constraints must be negotiated, not failed"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Heterogeneous cluster explorer: generate a cluster and a constrained
+//! workload, then inspect the supply/demand structure the CRV monitor sees
+//! — which machine classes exist, how contended each constraint kind is,
+//! and what the admission controller would negotiate.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+
+use phoenix::constraints::{supply_curve, ConstraintStats, CrvTable};
+use phoenix::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let population = MachinePopulation::generate(PopulationProfile::google_like(), 5_000, &mut rng);
+    let model = ConstraintModel::google();
+
+    // --- Supply side: what the cluster offers ---------------------------
+    println!("== machine population (5,000 workers, google mix) ==");
+    for isa in Isa::ALL {
+        let n = population
+            .machines()
+            .iter()
+            .filter(|m| m.isa == isa)
+            .count();
+        println!(
+            "  {isa:>6}: {n:>5} machines ({:.1}%)",
+            100.0 * n as f64 / 5_000.0
+        );
+    }
+
+    // --- Demand side: what jobs ask for ---------------------------------
+    let mut stats = ConstraintStats::new();
+    for _ in 0..50_000 {
+        stats.record(&model.maybe_synthesize(&mut rng));
+    }
+    println!("\n== constraint demand (50,000 synthesized jobs) ==");
+    println!(
+        "  constrained: {:.1}% of jobs",
+        stats.constrained_fraction() * 100.0
+    );
+    for (kind, share) in stats.kind_shares() {
+        if share > 0.0 {
+            println!("  {kind:>10}: {share:5.1}% of constraints");
+        }
+    }
+
+    // --- Fig. 6 view: satisfiability by constraint count ----------------
+    let curve = supply_curve(&model, &population, 20_000, &mut rng);
+    let demand = stats.demand_curve();
+    println!("\n== jobs asking k constraints vs nodes able to serve them ==");
+    println!("  k   demand%   supply%");
+    for k in 0..6 {
+        println!("  {}   {:6.1}   {:6.1}", k + 1, demand[k], curve[k]);
+    }
+
+    // --- CRV table: demand/supply ratios under a queued burst -----------
+    let index = FeasibilityIndex::new(population.into_machines());
+    let mut table = CrvTable::new();
+    for _ in 0..500 {
+        let set = model.synthesize_set(&mut rng);
+        table.add_demand_set(&set);
+        for (kind, supply) in index.kind_supply(&set) {
+            table.set_supply(kind, supply as f64);
+        }
+    }
+    println!("\n== CRV lookup table for a 500-task constrained burst ==");
+    print!("{table}");
+    let (kind, ratio) = table.max_ratio();
+    println!("hottest kind: {kind} at demand/supply ratio {ratio:.3}");
+}

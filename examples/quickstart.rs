@@ -1,0 +1,64 @@
+//! Quickstart: simulate one Google-like workload under Phoenix and print
+//! the headline latency numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use phoenix::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Pick a trace profile. The three profiles (google/cloudera/yahoo)
+    //    carry the published workload statistics of the paper's traces.
+    let profile = TraceProfile::google();
+
+    // 2. Generate a heterogeneous cluster with that profile's machine mix.
+    let nodes = 400;
+    let mut rng = StdRng::seed_from_u64(7);
+    let cluster = MachinePopulation::generate(profile.population.clone(), nodes, &mut rng);
+    println!("cluster: {nodes} workers ({} distinct racks)", {
+        let mut racks: Vec<u32> = cluster.machines().iter().map(|m| m.rack).collect();
+        racks.sort_unstable();
+        racks.dedup();
+        racks.len()
+    });
+
+    // 3. Synthesize a trace: 4,000 jobs at ~85 % offered utilization.
+    let trace = TraceGenerator::new(profile.clone(), 7).generate(4_000, nodes, 0.85);
+    let stats = TraceStats::measure(&trace, 10.0);
+    println!("{stats}\n");
+
+    // 4. Run Phoenix.
+    let config = PhoenixConfig::with_cutoff_s(profile.short_cutoff_s());
+    let result = Simulation::new(
+        SimConfig::default(),
+        FeasibilityIndex::new(cluster.into_machines()),
+        &trace,
+        Box::new(Phoenix::new(config)),
+        7,
+    )
+    .run();
+
+    // 5. Report.
+    println!("{result}");
+    println!(
+        "short jobs:  p50 {:>8.1}s  p90 {:>8.1}s  p99 {:>8.1}s",
+        result.class_response_percentile(JobClass::Short, 50.0),
+        result.class_response_percentile(JobClass::Short, 90.0),
+        result.class_response_percentile(JobClass::Short, 99.0),
+    );
+    println!(
+        "long jobs:   p50 {:>8.1}s  p90 {:>8.1}s  p99 {:>8.1}s",
+        result.class_response_percentile(JobClass::Long, 50.0),
+        result.class_response_percentile(JobClass::Long, 90.0),
+        result.class_response_percentile(JobClass::Long, 99.0),
+    );
+    println!(
+        "CRV reordered {} tasks, migrated {} probes, relaxed {} tasks",
+        result.counters.crv_reordered_tasks,
+        result.counters.migrated_probes,
+        result.counters.relaxed_tasks,
+    );
+}
