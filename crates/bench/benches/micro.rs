@@ -10,7 +10,7 @@ use phoenix_constraints::{
     ConstraintModel, FeasibilityIndex, MachinePopulation, PopulationProfile,
 };
 use phoenix_core::{CrvMonitor, WaitEstimator};
-use phoenix_sim::{SimDuration, SimTime, WorkerId};
+use phoenix_sim::{Probe, ProbeId, SimDuration, SimTime, WorkerId};
 use phoenix_traces::TraceProfile;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,23 +81,52 @@ fn bench_crv_monitor(c: &mut Criterion) {
             black_box(run_spec(black_box(&spec)).counters.crv_reordered_tasks)
         });
     });
-    group.bench_function("refresh_idle_state", |b| {
-        let mut rng = StdRng::seed_from_u64(5);
-        let cluster =
-            MachinePopulation::generate(PopulationProfile::google_like(), 5_000, &mut rng);
-        let trace =
-            phoenix_traces::TraceGenerator::new(TraceProfile::google(), 1).generate(10, 5_000, 0.5);
-        let state = phoenix_sim::Simulation::new(
-            phoenix_sim::SimConfig::default(),
-            FeasibilityIndex::new(cluster.into_machines()),
-            &trace,
-            Box::new(phoenix_sim::RandomScheduler::new(2)),
-            1,
-        )
-        .into_state_for_tests();
-        let mut monitor = CrvMonitor::new();
+    group.finish();
+}
+
+/// Heartbeat cost at 5,000 workers with populated queues: the historical
+/// full-cluster rescan vs the O(kinds) incremental-ledger refresh (the
+/// acceptance bar is ≥5× in the incremental path's favor).
+fn bench_monitor_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_refresh");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let cluster = MachinePopulation::generate(PopulationProfile::google_like(), 5_000, &mut rng);
+    let trace =
+        phoenix_traces::TraceGenerator::new(TraceProfile::google(), 1).generate(500, 5_000, 0.9);
+    let mut state = phoenix_sim::Simulation::new(
+        phoenix_sim::SimConfig::default(),
+        FeasibilityIndex::new(cluster.into_machines()),
+        &trace,
+        Box::new(phoenix_sim::RandomScheduler::new(2)),
+        1,
+    )
+    .into_state_for_tests();
+    // Non-trivial queue depth: four queued probes per worker, spread over
+    // the generated (constrained) jobs, via the ledger-aware API.
+    let n_jobs = state.jobs.len() as u64;
+    for i in 0..20_000u64 {
+        let probe = Probe {
+            id: ProbeId(i),
+            job: phoenix_traces::JobId((i % n_jobs) as u32),
+            bound_duration_us: None,
+            slowdown: 1.0,
+            enqueued_at: SimTime::ZERO,
+            bypass_count: 0,
+            migrations: 0,
+        };
+        state.enqueue_probe(WorkerId((i % 5_000) as u32), probe);
+    }
+    let mut monitor = CrvMonitor::new();
+    group.bench_function("full_rescan_5k_workers_20k_probes", |b| {
         b.iter(|| {
-            monitor.refresh(black_box(&state));
+            monitor.refresh_full_rescan(black_box(&state));
+            black_box(monitor.max_ratio())
+        });
+    });
+    group.bench_function("incremental_5k_workers_20k_probes", |b| {
+        b.iter(|| {
+            monitor.refresh_incremental(black_box(&state));
             black_box(monitor.max_ratio())
         });
     });
@@ -127,6 +156,7 @@ criterion_group!(
     bench_engine_throughput,
     bench_feasibility,
     bench_crv_monitor,
+    bench_monitor_refresh,
     bench_estimator,
 );
 criterion_main!(micro);

@@ -6,8 +6,9 @@
 //! * [`SchedulerKind`] — which policy to instantiate.
 //! * [`RunSpec`] / [`run_spec`] — one deterministic simulation run
 //!   (cluster generation + trace generation + simulation).
-//! * [`run_many`] — parallel execution of a batch of runs across CPU
-//!   cores (each run is single-threaded and deterministic).
+//! * [`run_many`] / [`run_seeds`] — parallel execution of a batch of runs
+//!   across CPU cores (each run is single-threaded and deterministic;
+//!   `run_seeds` is the multi-seed path behind seed-averaged tables).
 //! * [`Scale`] — quick/full experiment scaling; the paper's absolute node
 //!   counts (5,000–19,000) are reachable with `--scale full`, while the
 //!   default `quick` scale divides cluster and workload by the same factor
@@ -27,5 +28,5 @@ pub mod summary;
 
 pub use args::Scale;
 pub use report::{print_normalized_sweep, sweep, SweepPoint, SWEEP_FACTORS};
-pub use runner::{run_many, run_spec, RunSpec, SchedulerKind};
+pub use runner::{run_many, run_seeds, run_spec, RunSpec, SchedulerKind};
 pub use summary::{average_summaries, summarize, PercentileTriple, Summary};

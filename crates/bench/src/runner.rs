@@ -208,6 +208,16 @@ pub fn run_many(specs: &[RunSpec]) -> Vec<SimResult> {
         .collect()
 }
 
+/// Executes `spec` once per seed, in parallel, preserving seed order.
+///
+/// This is the multi-seed confidence-interval path used by the headline
+/// tables: each run is fully deterministic in its seed, so the batch is
+/// reproducible regardless of thread interleaving.
+pub fn run_seeds(spec: &RunSpec, seeds: &[u64]) -> Vec<SimResult> {
+    let specs: Vec<RunSpec> = seeds.iter().map(|&s| spec.clone().with_seed(s)).collect();
+    run_many(&specs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +254,22 @@ mod tests {
                 "{} vs {}",
                 kind.name(),
                 result.scheduler
+            );
+        }
+    }
+
+    #[test]
+    fn run_seeds_matches_sequential_per_seed_runs() {
+        let spec = tiny_spec(SchedulerKind::Phoenix);
+        let seeds = [2u64, 7, 11];
+        let batch = run_seeds(&spec, &seeds);
+        assert_eq!(batch.len(), seeds.len());
+        for (&seed, got) in seeds.iter().zip(&batch) {
+            let sequential = run_spec(&spec.clone().with_seed(seed));
+            assert_eq!(sequential.counters, got.counters, "seed {seed}");
+            assert_eq!(
+                sequential.metrics.makespan, got.metrics.makespan,
+                "seed {seed}"
             );
         }
     }

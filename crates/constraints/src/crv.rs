@@ -183,7 +183,7 @@ impl fmt::Display for Crv {
 /// Demand is accumulated per heartbeat from the constrained tasks that
 /// arrived (or are queued); supply is the number of workers able to satisfy
 /// constraints of that kind (or free slots on them).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CrvTable {
     demand: [f64; ConstraintKind::COUNT],
     supply: [f64; ConstraintKind::COUNT],

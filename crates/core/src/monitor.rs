@@ -19,11 +19,18 @@ pub struct MonitorSnapshot {
 
 /// The CRV monitor.
 ///
-/// Every heartbeat it scans worker queues to measure per-constraint-kind
-/// *demand* (queued tasks of constrained jobs asking for the resource) and
-/// *supply* (idle workers able to satisfy the queued constraint instances of
-/// that kind), maintains the `CRV_Lookup_Table`, and exposes the aggregated
-/// six-dimensional CRV ratio vector.
+/// Every heartbeat it measures per-constraint-kind *demand* (queued tasks
+/// of constrained jobs asking for the resource) and *supply* (idle workers
+/// able to satisfy the queued constraint instances of that kind), maintains
+/// the `CRV_Lookup_Table`, and exposes the aggregated six-dimensional CRV
+/// ratio vector.
+///
+/// The default refresh reads the engine's incrementally maintained
+/// [`phoenix_sim::CrvLedger`] — an O(kinds) aggregation. The historical
+/// full-cluster rescan ([`CrvMonitor::refresh_full_rescan`]) is kept both
+/// as an opt-out (`PhoenixConfig::incremental_monitor = false`) and as a
+/// debug-assertions oracle: in debug builds every incremental refresh is
+/// cross-checked against a from-scratch rescan and panics on divergence.
 #[derive(Debug, Clone, Default)]
 pub struct CrvMonitor {
     table: CrvTable,
@@ -57,12 +64,74 @@ impl CrvMonitor {
         self.table.max_ratio()
     }
 
-    /// Refreshes the table from live simulation state.
+    /// Refreshes the table from live simulation state using the incremental
+    /// ledger (with the debug-builds rescan oracle).
+    pub fn refresh(&mut self, state: &SimState) {
+        self.refresh_with(state, true);
+    }
+
+    /// Refreshes either incrementally (O(kinds), ledger-backed) or via the
+    /// historical full-cluster rescan.
+    pub fn refresh_with(&mut self, state: &SimState, incremental: bool) {
+        if incremental {
+            self.refresh_incremental(state);
+            #[cfg(debug_assertions)]
+            self.oracle_cross_check(state);
+        } else {
+            self.refresh_full_rescan(state);
+        }
+    }
+
+    /// O(kinds) refresh off the engine's incrementally maintained
+    /// [`phoenix_sim::CrvLedger`].
+    pub fn refresh_incremental(&mut self, state: &SimState) {
+        let ledger = state.crv_ledger();
+        self.table.reset_demand();
+        for kind in ConstraintKind::ALL {
+            self.table.add_demand(kind, ledger.demand(kind) as f64);
+            self.table.set_supply(kind, ledger.idle_supply(kind) as f64);
+        }
+        self.crv = self.table.to_crv();
+        self.snapshot = MonitorSnapshot {
+            queued_probes: ledger.queued_probes(),
+            constrained_probes: ledger.constrained_probes(),
+            idle_workers: ledger.idle_workers(),
+        };
+    }
+
+    /// Cross-checks the incremental tables against a from-scratch rescan;
+    /// any divergence is a ledger-hook bug.
+    #[cfg(debug_assertions)]
+    fn oracle_cross_check(&self, state: &SimState) {
+        let mut oracle = CrvMonitor::new();
+        oracle.refresh_full_rescan(state);
+        for kind in ConstraintKind::ALL {
+            assert_eq!(
+                self.table.demand(kind),
+                oracle.table.demand(kind),
+                "incremental CRV demand for {kind} diverged from full rescan"
+            );
+            assert_eq!(
+                self.table.supply(kind),
+                oracle.table.supply(kind),
+                "incremental CRV supply for {kind} diverged from full rescan"
+            );
+        }
+        assert_eq!(self.snapshot.queued_probes, oracle.snapshot.queued_probes);
+        assert_eq!(
+            self.snapshot.constrained_probes,
+            oracle.snapshot.constrained_probes
+        );
+        assert_eq!(self.snapshot.idle_workers, oracle.snapshot.idle_workers);
+    }
+
+    /// Refreshes the table by scanning the whole cluster
+    /// (O(workers × probes × constraints)).
     ///
     /// Demand: one unit per queued probe per constraint of its job's
     /// effective set. Supply: per kind, the number of *idle* workers
     /// satisfying at least one queued constraint instance of that kind.
-    pub fn refresh(&mut self, state: &SimState) {
+    pub fn refresh_full_rescan(&mut self, state: &SimState) {
         self.table.reset_demand();
         let mut snapshot = MonitorSnapshot::default();
 
@@ -155,15 +224,18 @@ mod tests {
     }
 
     fn enqueue(state: &mut phoenix_sim::SimState, worker: u32, job: u32) {
-        state.workers[worker as usize].enqueue(Probe {
-            id: ProbeId(u64::from(job)),
-            job: JobId(job),
-            bound_duration_us: None,
-            slowdown: 1.0,
-            enqueued_at: SimTime::ZERO,
-            bypass_count: 0,
-            migrations: 0,
-        });
+        state.enqueue_probe(
+            WorkerId(worker),
+            Probe {
+                id: ProbeId(u64::from(job)),
+                job: JobId(job),
+                bound_duration_us: None,
+                slowdown: 1.0,
+                enqueued_at: SimTime::ZERO,
+                bypass_count: 0,
+                migrations: 0,
+            },
+        );
     }
 
     #[test]
@@ -214,7 +286,8 @@ mod tests {
         // Make every worker busy: supply must drop to zero.
         let now = SimTime::ZERO;
         for i in 0..10u32 {
-            state.workers[i as usize].start_task(
+            state.start_task_on(
+                WorkerId(i),
                 phoenix_sim::worker::RunningTask {
                     job: JobId(0),
                     finish_at: SimTime::from_secs_f64(100.0),
@@ -230,7 +303,49 @@ mod tests {
         assert_eq!(monitor.table().supply(ConstraintKind::NumCores), 0.0);
         // Positive demand with zero supply → infinite contention.
         assert!(monitor.max_ratio().1.is_infinite());
-        let _ = WorkerId(0);
+    }
+
+    #[test]
+    fn incremental_matches_full_rescan() {
+        let cpu = ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            4,
+        )]);
+        let net = ConstraintSet::from_constraints(vec![Constraint::soft(
+            ConstraintKind::EthernetSpeed,
+            ConstraintOp::Gt,
+            900,
+        )]);
+        let mut state = state_with(25, vec![cpu, net, ConstraintSet::unconstrained()]);
+        enqueue(&mut state, 0, 0);
+        enqueue(&mut state, 1, 1);
+        enqueue(&mut state, 3, 2);
+        state.start_task_on(
+            WorkerId(2),
+            phoenix_sim::worker::RunningTask {
+                job: JobId(0),
+                finish_at: SimTime::from_secs_f64(10.0),
+                duration_us: 10_000_000,
+                bound: false,
+                seq: 0,
+            },
+            SimTime::ZERO,
+        );
+        let mut incremental = CrvMonitor::new();
+        incremental.refresh_incremental(&state);
+        let mut rescan = CrvMonitor::new();
+        rescan.refresh_full_rescan(&state);
+        assert_eq!(incremental.table(), rescan.table());
+        assert_eq!(incremental.crv(), rescan.crv());
+        assert_eq!(
+            incremental.snapshot().idle_workers,
+            rescan.snapshot().idle_workers
+        );
+        // The opt-out path produces the same table too.
+        let mut opted_out = CrvMonitor::new();
+        opted_out.refresh_with(&state, false);
+        assert_eq!(opted_out.table(), rescan.table());
     }
 
     #[test]

@@ -107,20 +107,30 @@ pub fn crv_insert_tail(
     };
     let new_rank = probe_rank(state, &state.workers[worker.index()].queue()[tail]);
     let mut to = tail;
+    // Whether the walk stopped at a probe the new one *outranks* but whose
+    // bypass budget is exhausted — the same starvation suppression
+    // `crv_reorder_queue` accounts for.
+    let mut suppressed = false;
     {
         let w = &state.workers[worker.index()];
         while to > 0 {
             let prev = &w.queue()[to - 1];
-            if probe_rank(state, prev) > new_rank && prev.bypass_count < slack_threshold {
-                to -= 1;
-            } else {
+            if probe_rank(state, prev) <= new_rank {
                 break;
             }
+            if prev.bypass_count >= slack_threshold {
+                suppressed = true;
+                break;
+            }
+            to -= 1;
         }
     }
     let moved = state.workers[worker.index()].promote(tail, to);
     if moved > 0 {
         state.metrics.counters.crv_insertions += 1;
+    }
+    if suppressed {
+        state.metrics.counters.starvation_suppressions += 1;
     }
     moved
 }
@@ -259,6 +269,47 @@ mod tests {
         assert_eq!(order(&state), vec![0, 2, 1], "hot lands after barrier");
         // The bypassed unconstrained probe gained a bypass count.
         assert_eq!(state.workers[0].queue()[2].bypass_count, 1);
+    }
+
+    #[test]
+    fn insert_tail_counts_suppression_like_reorder() {
+        // A slack-exhausted cold probe blocks the new hot tail probe:
+        // crv_insert_tail must account the starvation suppression exactly
+        // as crv_reorder_queue does.
+        let mut state = state_with_queue(vec![cpu_set(), net_set()]);
+        state.workers[0].queue_mut()[0].bypass_count = 5;
+        let moved = crv_insert_tail(&mut state, WorkerId(0), &hot_net(), 5);
+        assert_eq!(moved, 0);
+        assert_eq!(order(&state), vec![0, 1]);
+        assert_eq!(state.metrics.counters.starvation_suppressions, 1);
+        assert_eq!(state.metrics.counters.crv_insertions, 0);
+    }
+
+    #[test]
+    fn insert_tail_partial_move_still_counts_suppression() {
+        // The hot tail bypasses one cold probe, then hits a pinned barrier:
+        // both the insertion and the suppression are recorded.
+        let mut state = state_with_queue(vec![
+            cpu_set(),                      // pinned barrier
+            ConstraintSet::unconstrained(), // bypassable
+            net_set(),                      // hot tail
+        ]);
+        state.workers[0].queue_mut()[0].bypass_count = 5;
+        let moved = crv_insert_tail(&mut state, WorkerId(0), &hot_net(), 5);
+        assert_eq!(moved, 1);
+        assert_eq!(order(&state), vec![0, 2, 1]);
+        assert_eq!(state.metrics.counters.crv_insertions, 1);
+        assert_eq!(state.metrics.counters.starvation_suppressions, 1);
+    }
+
+    #[test]
+    fn insert_tail_stopping_on_rank_is_not_suppression() {
+        // The walk stopping because the previous probe ranks equal/lower is
+        // orderly SRPT behaviour, not starvation suppression.
+        let mut state = state_with_queue(vec![net_set(), net_set()]);
+        let moved = crv_insert_tail(&mut state, WorkerId(0), &hot_net(), 5);
+        assert_eq!(moved, 0);
+        assert_eq!(state.metrics.counters.starvation_suppressions, 0);
     }
 
     #[test]

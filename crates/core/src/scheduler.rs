@@ -264,7 +264,8 @@ impl Phoenix {
     }
 
     fn heartbeat(&mut self, ctx: &mut SimCtx<'_>) {
-        self.monitor.refresh(ctx.state());
+        self.monitor
+            .refresh_with(ctx.state(), self.config.incremental_monitor);
         let (_, max_ratio) = self.monitor.max_ratio();
         self.crv_mode = self.config.crv_reordering && max_ratio > self.config.crv_threshold;
         if self.crv_mode {
@@ -364,7 +365,7 @@ impl Scheduler for Phoenix {
         if job_is_short && ctx.job(job).has_pending() {
             let probe = ctx.new_probe(job);
             ctx.counters_mut().sbp_continuations += 1;
-            ctx.worker_mut(worker).enqueue_front(probe);
+            ctx.enqueue_front(worker, probe);
             ctx.touch(worker);
             return;
         }
@@ -436,6 +437,34 @@ mod tests {
         let b = run_phoenix(200, 80, 0.8, 5);
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.metrics.makespan, b.metrics.makespan);
+    }
+
+    #[test]
+    fn incremental_and_rescan_monitors_give_identical_runs() {
+        // Same seed, monitor knob flipped: the incremental ledger and the
+        // full rescan must produce identical tables, hence identical
+        // scheduling decisions and headline results.
+        let (machines, trace, cutoff) = build(600, 60, 0.9, 13);
+        let incremental = Simulation::new(
+            SimConfig::default(),
+            FeasibilityIndex::new(machines.clone()),
+            &trace,
+            Box::new(Phoenix::new(PhoenixConfig::with_cutoff_s(cutoff))),
+            13,
+        )
+        .run();
+        let mut config = PhoenixConfig::with_cutoff_s(cutoff);
+        config.incremental_monitor = false;
+        let rescan = Simulation::new(
+            SimConfig::default(),
+            FeasibilityIndex::new(machines),
+            &trace,
+            Box::new(Phoenix::new(config)),
+            13,
+        )
+        .run();
+        assert_eq!(incremental.counters, rescan.counters);
+        assert_eq!(incremental.metrics.makespan, rescan.metrics.makespan);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Property test for the incremental CRV ledger: after every randomized
+//! queue/slot operation, the monitor table derived from the ledger must
+//! equal a from-scratch full rescan.
+
+use phoenix_constraints::{
+    Constraint, ConstraintKind, ConstraintOp, ConstraintSet, FeasibilityIndex, MachinePopulation,
+    PopulationProfile,
+};
+use phoenix_core::CrvMonitor;
+use phoenix_sim::{
+    Probe, ProbeId, RunningTask, SimConfig, SimState, SimTime, Simulation, WorkerId,
+};
+use phoenix_traces::{Job, JobId, Trace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WORKERS: usize = 16;
+
+fn job_sets() -> Vec<ConstraintSet> {
+    vec![
+        ConstraintSet::unconstrained(),
+        ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            4,
+        )]),
+        ConstraintSet::from_constraints(vec![Constraint::soft(
+            ConstraintKind::EthernetSpeed,
+            ConstraintOp::Gt,
+            900,
+        )]),
+        ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::KernelVersion,
+            ConstraintOp::Gt,
+            300,
+        )]),
+        ConstraintSet::from_constraints(vec![
+            Constraint::hard(ConstraintKind::NumCores, ConstraintOp::Gt, 2),
+            Constraint::soft(ConstraintKind::Memory, ConstraintOp::Gt, 8),
+        ]),
+        ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            4,
+        )]),
+    ]
+}
+
+fn build_state() -> SimState {
+    let mut rng = StdRng::seed_from_u64(11);
+    let cluster = MachinePopulation::generate(PopulationProfile::google_like(), WORKERS, &mut rng);
+    let jobs: Vec<Job> = job_sets()
+        .into_iter()
+        .enumerate()
+        .map(|(i, set)| Job {
+            id: JobId(i as u32),
+            arrival_s: 0.0,
+            task_durations_s: vec![1.0; 4],
+            estimated_task_duration_s: 1.0,
+            constraints: set,
+            short: true,
+            user: 0,
+        })
+        .collect();
+    Simulation::new(
+        SimConfig::default(),
+        FeasibilityIndex::new(cluster.into_machines()),
+        &Trace::new("t", jobs),
+        Box::new(phoenix_sim::RandomScheduler::new(1)),
+        1,
+    )
+    .into_state_for_tests()
+}
+
+/// One randomized op against the ledger-aware state API; interpreted
+/// modulo the current state so every sequence is valid.
+fn apply_op(
+    state: &mut SimState,
+    op: u8,
+    a: u16,
+    b: u16,
+    next_probe: &mut u64,
+    next_seq: &mut u64,
+) {
+    let worker = WorkerId(u32::from(a) % WORKERS as u32);
+    let n_jobs = state.jobs.len() as u64;
+    match op {
+        // Enqueue at the tail.
+        0 | 1 => {
+            let probe = Probe {
+                id: ProbeId(*next_probe),
+                job: JobId((u64::from(b) % n_jobs) as u32),
+                bound_duration_us: if op == 1 { Some(1_000) } else { None },
+                slowdown: 1.0,
+                enqueued_at: SimTime::ZERO,
+                bypass_count: 0,
+                migrations: 0,
+            };
+            *next_probe += 1;
+            state.enqueue_probe(worker, probe);
+        }
+        // Enqueue at the front (sticky batch probing).
+        2 => {
+            let probe = Probe {
+                id: ProbeId(*next_probe),
+                job: JobId((u64::from(b) % n_jobs) as u32),
+                bound_duration_us: None,
+                slowdown: 1.0,
+                enqueued_at: SimTime::ZERO,
+                bypass_count: 0,
+                migrations: 0,
+            };
+            *next_probe += 1;
+            state.enqueue_probe_front(worker, probe);
+        }
+        // Remove one queued probe (dispatch / recall).
+        3 => {
+            let len = state.workers[worker.index()].queue_len();
+            if len > 0 {
+                let _ = state.remove_probe_at(worker, usize::from(b) % len);
+            }
+        }
+        // Steal a matching subset.
+        4 => {
+            let residue = u64::from(b) % 3;
+            let _ = state.steal_probes_if(worker, |p| p.id.0 % 3 == residue);
+        }
+        // Occupy a slot (idle → busy transition).
+        5 => {
+            if state.workers[worker.index()].has_free_slot() {
+                let seq = *next_seq;
+                *next_seq += 1;
+                state.start_task_on(
+                    worker,
+                    RunningTask {
+                        job: JobId((u64::from(b) % n_jobs) as u32),
+                        finish_at: SimTime::from_secs_f64(100.0),
+                        duration_us: 1_000,
+                        bound: false,
+                        seq,
+                    },
+                    SimTime::ZERO,
+                );
+            }
+        }
+        // Free a slot (busy → idle transition).
+        6 => {
+            if let Some(task) = state.workers[worker.index()].running().copied() {
+                let _ = state.finish_task_on(worker, task.seq);
+            }
+        }
+        // Pure reordering: must not need (or disturb) ledger accounting.
+        _ => {
+            let len = state.workers[worker.index()].queue_len();
+            if len > 1 {
+                state.workers[worker.index()].promote_to_front(usize::from(b) % len);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_table_matches_rescan_after_every_op(
+        ops in prop::collection::vec((0u8..8, 0u16..64, 0u16..64), 0..60),
+    ) {
+        let mut state = build_state();
+        let mut next_probe = 0u64;
+        let mut next_seq = 0u64;
+        for &(op, a, b) in &ops {
+            apply_op(&mut state, op, a, b, &mut next_probe, &mut next_seq);
+            let mut incremental = CrvMonitor::new();
+            incremental.refresh_incremental(&state);
+            let mut rescan = CrvMonitor::new();
+            rescan.refresh_full_rescan(&state);
+            prop_assert_eq!(incremental.table(), rescan.table());
+            prop_assert_eq!(incremental.crv(), rescan.crv());
+            prop_assert_eq!(
+                incremental.snapshot().queued_probes,
+                rescan.snapshot().queued_probes
+            );
+            prop_assert_eq!(
+                incremental.snapshot().constrained_probes,
+                rescan.snapshot().constrained_probes
+            );
+            prop_assert_eq!(
+                incremental.snapshot().idle_workers,
+                rescan.snapshot().idle_workers
+            );
+        }
+    }
+}

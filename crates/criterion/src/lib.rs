@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! minimal wall-clock benchmark harness exposing the API subset the
+//! `phoenix-bench` benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis it reports, per benchmark,
+//! the minimum / mean / maximum sample time (and derived throughput when
+//! one was declared) on stdout. Good enough to compare hot paths by
+//! orders of magnitude, which is what the repo's acceptance criteria ask
+//! for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (an implicit single-entry group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times `f` and prints a one-line report.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up sample.
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed);
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        let label = if self.name.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        let mut line = format!(
+            "{label:<50} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = |count: u64| {
+                if mean.is_zero() {
+                    f64::INFINITY
+                } else {
+                    count as f64 / mean.as_secs_f64()
+                }
+            };
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.0} elem/s", per_sec(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  thrpt: {:.0} B/s", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (upstream parity; prints nothing extra).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` once, accumulating its wall-clock time into this sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        drop(out);
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1_000u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(unit_group, sample_bench);
+
+    #[test]
+    fn harness_runs_and_times() {
+        unit_group();
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).ends_with(" s"));
+    }
+}

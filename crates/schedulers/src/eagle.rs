@@ -144,7 +144,7 @@ impl Scheduler for EagleC {
         if self.sticky_batch_probing && job_is_short && ctx.job(job).has_pending() {
             let probe = ctx.new_probe(job);
             ctx.counters_mut().sbp_continuations += 1;
-            ctx.worker_mut(worker).enqueue_front(probe);
+            ctx.enqueue_front(worker, probe);
             ctx.touch(worker);
             return;
         }

@@ -187,7 +187,7 @@ mod tests {
 mod partition_tests {
     use super::*;
     use phoenix_constraints::{AttributeVector, ConstraintSet, FeasibilityIndex};
-    use phoenix_sim::{Scheduler as _, SimConfig, Simulation, WorkerId};
+    use phoenix_sim::{SimConfig, Simulation, WorkerId};
     use phoenix_traces::{Job, JobId, Trace};
 
     /// Long tasks never land in the reserved short partition (first 10 %

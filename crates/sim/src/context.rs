@@ -60,7 +60,13 @@ impl<'a> SimCtx<'a> {
         &self.state.workers[id.index()]
     }
 
-    /// Mutable access to a worker (queue reordering, stealing).
+    /// Mutable access to a worker (queue reordering).
+    ///
+    /// Use this only for operations that preserve the queue's probe
+    /// multiset (e.g. [`Worker::promote`]). Adding or removing probes must
+    /// go through the ledger-aware wrappers ([`SimCtx::enqueue_front`],
+    /// [`SimCtx::remove_probe_by_id`], [`SimCtx::steal_probes_if`]) or the
+    /// incremental CRV monitor desyncs.
     pub fn worker_mut(&mut self, id: WorkerId) -> &mut Worker {
         &mut self.state.workers[id.index()]
     }
@@ -190,10 +196,29 @@ impl<'a> SimCtx<'a> {
     }
 
     /// Removes the queued probe with the given id from a worker's queue,
-    /// if present (used to recall probes).
+    /// if present (used to recall probes). Keeps the CRV ledger in sync.
     pub fn remove_probe_by_id(&mut self, worker: WorkerId, id: ProbeId) -> Option<Probe> {
-        let w = &mut self.state.workers[worker.index()];
-        let idx = w.queue().iter().position(|p| p.id == id)?;
-        Some(w.remove_probe(idx))
+        let idx = self.state.workers[worker.index()]
+            .queue()
+            .iter()
+            .position(|p| p.id == id)?;
+        Some(self.state.remove_probe_at(worker, idx))
+    }
+
+    /// Inserts a probe at the *front* of a worker's queue (sticky batch
+    /// probing: a continuation of service, not a reordering). Keeps the CRV
+    /// ledger in sync.
+    pub fn enqueue_front(&mut self, worker: WorkerId, probe: Probe) {
+        self.state.enqueue_probe_front(worker, probe);
+    }
+
+    /// Removes and returns every queued probe of `worker` matching
+    /// `predicate` (work stealing). Keeps the CRV ledger in sync.
+    pub fn steal_probes_if(
+        &mut self,
+        worker: WorkerId,
+        predicate: impl FnMut(&Probe) -> bool,
+    ) -> Vec<Probe> {
+        self.state.steal_probes_if(worker, predicate)
     }
 }

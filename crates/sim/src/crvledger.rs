@@ -1,0 +1,319 @@
+//! Incrementally maintained CRV demand/supply ledger.
+//!
+//! The CRV monitor historically rebuilt its lookup table every heartbeat by
+//! scanning every worker queue and re-deriving per-kind supply — an
+//! O(workers × probes × constraints) pass repeated every 9 simulated
+//! seconds. This ledger keeps the same quantities continuously up to date
+//! from the engine's probe-movement and slot-transition hooks, so a
+//! heartbeat refresh becomes an O(kinds) read:
+//!
+//! * **Demand**: one unit per queued probe per constraint of its job's
+//!   effective set, updated as probes enter and leave queues. The set a
+//!   probe demands is interned at enqueue time (jobs' effective constraints
+//!   are final before any of their probes arrive; the monitor's
+//!   debug-assertions oracle cross-checks this every heartbeat).
+//! * **Supply**: per kind, the number of *idle* workers satisfying at least
+//!   one currently-demanded constraint instance of that kind. Per-instance
+//!   feasibility lists come from
+//!   [`FeasibilityIndex::feasible_single`] (cached inside the index) and
+//!   are walked only when an instance's refcount transitions between zero
+//!   and nonzero — i.e. only when the distinct-instance set changes.
+//!   Idle↔busy transitions cost O(kinds).
+//!
+//! All probe movement between queues and all slot transitions must go
+//! through the [`crate::SimState`] / [`crate::SimCtx`] wrappers that feed
+//! this ledger; mutating [`crate::Worker`] queues directly desynchronizes
+//! it (the monitor's debug oracle will panic).
+
+use std::collections::HashMap;
+
+use phoenix_constraints::{Constraint, ConstraintKind, ConstraintSet, FeasibilityIndex};
+
+use crate::probe::ProbeId;
+
+/// Continuously maintained CRV demand/supply counters (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct CrvLedger {
+    /// Per kind: queued (probe, constraint) pairs demanding it.
+    demand: [u64; ConstraintKind::COUNT],
+    /// Per kind: idle workers satisfying ≥1 currently-demanded instance.
+    idle_supply: [u64; ConstraintKind::COUNT],
+    /// Interned constraint sets, indexed by the ids in `probe_set`.
+    sets: Vec<Vec<Constraint>>,
+    set_ids: HashMap<Vec<Constraint>, u32>,
+    /// Interned set of each queued *constrained* probe.
+    probe_set: HashMap<ProbeId, u32>,
+    /// Refcount of each distinct constraint instance under demand.
+    instance_refs: HashMap<Constraint, u64>,
+    /// Per worker, per kind: demanded instances of that kind it satisfies.
+    sat_count: Vec<[u32; ConstraintKind::COUNT]>,
+    /// Mirror of each worker's idleness.
+    idle: Vec<bool>,
+    idle_workers: usize,
+    queued_probes: usize,
+    constrained_probes: usize,
+}
+
+impl CrvLedger {
+    /// An empty ledger over `workers` all-idle workers.
+    pub fn new(workers: usize) -> Self {
+        CrvLedger {
+            sat_count: vec![[0; ConstraintKind::COUNT]; workers],
+            idle: vec![true; workers],
+            idle_workers: workers,
+            ..Default::default()
+        }
+    }
+
+    /// Queued (probe, constraint) pairs demanding `kind`.
+    pub fn demand(&self, kind: ConstraintKind) -> u64 {
+        self.demand[kind.index()]
+    }
+
+    /// Idle workers satisfying at least one currently-demanded instance of
+    /// `kind`.
+    pub fn idle_supply(&self, kind: ConstraintKind) -> u64 {
+        self.idle_supply[kind.index()]
+    }
+
+    /// Total queued probes.
+    pub fn queued_probes(&self) -> usize {
+        self.queued_probes
+    }
+
+    /// Queued probes belonging to constrained jobs.
+    pub fn constrained_probes(&self) -> usize {
+        self.constrained_probes
+    }
+
+    /// Workers with no running task.
+    pub fn idle_workers(&self) -> usize {
+        self.idle_workers
+    }
+
+    /// Distinct constraint instances currently under demand.
+    pub fn distinct_instances(&self) -> usize {
+        self.instance_refs.len()
+    }
+
+    /// Records a probe demanding `set` entering some worker's queue.
+    pub fn probe_enqueued(
+        &mut self,
+        id: ProbeId,
+        set: &ConstraintSet,
+        feasibility: &FeasibilityIndex,
+    ) {
+        self.queued_probes += 1;
+        if set.is_unconstrained() {
+            return;
+        }
+        self.constrained_probes += 1;
+        let set_id = self.intern(set);
+        let prev = self.probe_set.insert(id, set_id);
+        debug_assert!(
+            prev.is_none(),
+            "probe {id:?} enqueued twice without removal"
+        );
+        for i in 0..self.sets[set_id as usize].len() {
+            let c = self.sets[set_id as usize][i];
+            self.demand[c.kind.index()] += 1;
+            let refs = self.instance_refs.entry(c).or_insert(0);
+            *refs += 1;
+            if *refs == 1 {
+                self.instance_added(&c, feasibility);
+            }
+        }
+    }
+
+    /// Records a queued probe leaving its worker's queue (dispatch, steal,
+    /// recall, redundant-probe discard).
+    pub fn probe_removed(&mut self, id: ProbeId, feasibility: &FeasibilityIndex) {
+        debug_assert!(
+            self.queued_probes > 0,
+            "probe {id:?} removed from empty ledger"
+        );
+        self.queued_probes -= 1;
+        let Some(set_id) = self.probe_set.remove(&id) else {
+            return; // unconstrained probe
+        };
+        self.constrained_probes -= 1;
+        for i in 0..self.sets[set_id as usize].len() {
+            let c = self.sets[set_id as usize][i];
+            self.demand[c.kind.index()] -= 1;
+            let refs = self
+                .instance_refs
+                .get_mut(&c)
+                .expect("removed probe's instances are refcounted");
+            *refs -= 1;
+            if *refs == 0 {
+                self.instance_refs.remove(&c);
+                self.instance_removed(&c, feasibility);
+            }
+        }
+    }
+
+    /// Records `worker` transitioning idle → busy (first slot occupied).
+    /// A no-op if already busy.
+    pub fn worker_busy(&mut self, worker: usize) {
+        if !self.idle[worker] {
+            return;
+        }
+        self.idle[worker] = false;
+        self.idle_workers -= 1;
+        for (k, supply) in self.idle_supply.iter_mut().enumerate() {
+            if self.sat_count[worker][k] > 0 {
+                *supply -= 1;
+            }
+        }
+    }
+
+    /// Records `worker` transitioning busy → idle (last slot freed).
+    /// A no-op if already idle.
+    pub fn worker_idle(&mut self, worker: usize) {
+        if self.idle[worker] {
+            return;
+        }
+        self.idle[worker] = true;
+        self.idle_workers += 1;
+        for (k, supply) in self.idle_supply.iter_mut().enumerate() {
+            if self.sat_count[worker][k] > 0 {
+                *supply += 1;
+            }
+        }
+    }
+
+    /// A previously-undemanded instance became demanded: walk its feasible
+    /// workers once (the cached list from the index).
+    fn instance_added(&mut self, c: &Constraint, feasibility: &FeasibilityIndex) {
+        let k = c.kind.index();
+        for &w in feasibility.feasible_single(c).iter() {
+            let sat = &mut self.sat_count[w as usize][k];
+            *sat += 1;
+            if *sat == 1 && self.idle[w as usize] {
+                self.idle_supply[k] += 1;
+            }
+        }
+    }
+
+    /// The last probe demanding an instance left: reverse of
+    /// [`CrvLedger::instance_added`].
+    fn instance_removed(&mut self, c: &Constraint, feasibility: &FeasibilityIndex) {
+        let k = c.kind.index();
+        for &w in feasibility.feasible_single(c).iter() {
+            let sat = &mut self.sat_count[w as usize][k];
+            *sat -= 1;
+            if *sat == 0 && self.idle[w as usize] {
+                self.idle_supply[k] -= 1;
+            }
+        }
+    }
+
+    fn intern(&mut self, set: &ConstraintSet) -> u32 {
+        let key: Vec<Constraint> = set.iter().copied().collect();
+        if let Some(&id) = self.set_ids.get(&key) {
+            return id;
+        }
+        let id = u32::try_from(self.sets.len()).expect("fewer than 2^32 distinct sets");
+        self.sets.push(key.clone());
+        self.set_ids.insert(key, id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phoenix_constraints::{AttributeVector, ConstraintOp};
+
+    fn machines() -> Vec<AttributeVector> {
+        // Two big-core machines, two small-core ones.
+        (0..4)
+            .map(|i| AttributeVector {
+                num_cores: if i < 2 { 16 } else { 2 },
+                ..AttributeVector::default()
+            })
+            .collect()
+    }
+
+    fn cores_gt(value: u64) -> ConstraintSet {
+        ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            value,
+        )])
+    }
+
+    #[test]
+    fn demand_and_supply_track_probe_lifecycle() {
+        let index = FeasibilityIndex::new(machines());
+        let mut ledger = CrvLedger::new(4);
+        let set = cores_gt(4);
+        ledger.probe_enqueued(ProbeId(1), &set, &index);
+        ledger.probe_enqueued(ProbeId(2), &set, &index);
+        assert_eq!(ledger.demand(ConstraintKind::NumCores), 2);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 2);
+        assert_eq!(ledger.constrained_probes(), 2);
+        assert_eq!(ledger.distinct_instances(), 1);
+
+        ledger.probe_removed(ProbeId(1), &index);
+        assert_eq!(ledger.demand(ConstraintKind::NumCores), 1);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 2);
+
+        // Last demanding probe leaves: the instance (and its supply) clears.
+        ledger.probe_removed(ProbeId(2), &index);
+        assert_eq!(ledger.demand(ConstraintKind::NumCores), 0);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 0);
+        assert_eq!(ledger.distinct_instances(), 0);
+        assert_eq!(ledger.queued_probes(), 0);
+    }
+
+    #[test]
+    fn unconstrained_probes_only_count_queue_depth() {
+        let index = FeasibilityIndex::new(machines());
+        let mut ledger = CrvLedger::new(4);
+        ledger.probe_enqueued(ProbeId(9), &ConstraintSet::unconstrained(), &index);
+        assert_eq!(ledger.queued_probes(), 1);
+        assert_eq!(ledger.constrained_probes(), 0);
+        ledger.probe_removed(ProbeId(9), &index);
+        assert_eq!(ledger.queued_probes(), 0);
+    }
+
+    #[test]
+    fn busy_workers_leave_the_supply() {
+        let index = FeasibilityIndex::new(machines());
+        let mut ledger = CrvLedger::new(4);
+        ledger.probe_enqueued(ProbeId(1), &cores_gt(4), &index);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 2);
+        ledger.worker_busy(0);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 1);
+        assert_eq!(ledger.idle_workers(), 3);
+        // Transition hooks are idempotent.
+        ledger.worker_busy(0);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 1);
+        ledger.worker_idle(0);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 2);
+        assert_eq!(ledger.idle_workers(), 4);
+    }
+
+    #[test]
+    fn overlapping_sets_share_instances() {
+        let index = FeasibilityIndex::new(machines());
+        let mut ledger = CrvLedger::new(4);
+        let shared = Constraint::hard(ConstraintKind::NumCores, ConstraintOp::Gt, 4);
+        let a = ConstraintSet::from_constraints(vec![shared]);
+        let b = ConstraintSet::from_constraints(vec![
+            shared,
+            Constraint::hard(ConstraintKind::MinDisks, ConstraintOp::Gt, 0),
+        ]);
+        ledger.probe_enqueued(ProbeId(1), &a, &index);
+        ledger.probe_enqueued(ProbeId(2), &b, &index);
+        assert_eq!(ledger.demand(ConstraintKind::NumCores), 2);
+        assert_eq!(ledger.distinct_instances(), 2);
+        // Removing the pure-core probe keeps the shared instance alive.
+        ledger.probe_removed(ProbeId(1), &index);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 2);
+        assert_eq!(ledger.distinct_instances(), 2);
+        ledger.probe_removed(ProbeId(2), &index);
+        assert_eq!(ledger.distinct_instances(), 0);
+    }
+}

@@ -8,12 +8,13 @@ use phoenix_traces::Trace;
 
 use crate::config::SimConfig;
 use crate::context::SimCtx;
+use crate::crvledger::CrvLedger;
 use crate::event::{Event, EventQueue};
 use crate::jobstate::JobState;
 use crate::metrics::{SimMetrics, SimResult};
-use crate::probe::ProbeId;
+use crate::probe::{Probe, ProbeId};
 use crate::scheduler::Scheduler;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use crate::worker::{RunningTask, Worker, WorkerId};
 
 /// Mutable simulation state shared between the engine and the scheduler
@@ -34,6 +35,7 @@ pub struct SimState {
     pub metrics: SimMetrics,
     pub(crate) rng: StdRng,
     pub(crate) touched: Vec<WorkerId>,
+    crv_ledger: CrvLedger,
     next_probe: u64,
     next_task_seq: u64,
 }
@@ -43,6 +45,97 @@ impl SimState {
         let id = ProbeId(self.next_probe);
         self.next_probe += 1;
         id
+    }
+
+    /// The incrementally maintained CRV demand/supply ledger.
+    pub fn crv_ledger(&self) -> &CrvLedger {
+        &self.crv_ledger
+    }
+
+    /// Appends `probe` to the tail of `worker`'s queue, keeping the CRV
+    /// ledger in sync.
+    ///
+    /// All probe movement between queues must go through these
+    /// `SimState`/[`SimCtx`] wrappers rather than [`Worker::enqueue`] /
+    /// [`Worker::remove_probe`] directly, or the incremental monitor
+    /// desyncs (and its debug oracle panics). Pure reordering
+    /// ([`Worker::promote`]) needs no wrapper.
+    pub fn enqueue_probe(&mut self, worker: WorkerId, probe: Probe) {
+        let set = &self.jobs[probe.job.0 as usize].effective_constraints;
+        self.crv_ledger
+            .probe_enqueued(probe.id, set, &self.feasibility);
+        self.workers[worker.index()].enqueue(probe);
+    }
+
+    /// Inserts `probe` at the *front* of `worker`'s queue (sticky batch
+    /// probing), keeping the CRV ledger in sync.
+    pub fn enqueue_probe_front(&mut self, worker: WorkerId, probe: Probe) {
+        let set = &self.jobs[probe.job.0 as usize].effective_constraints;
+        self.crv_ledger
+            .probe_enqueued(probe.id, set, &self.feasibility);
+        self.workers[worker.index()].enqueue_front(probe);
+    }
+
+    /// Removes and returns the probe at `index` of `worker`'s queue,
+    /// keeping the CRV ledger in sync.
+    pub fn remove_probe_at(&mut self, worker: WorkerId, index: usize) -> Probe {
+        let probe = self.workers[worker.index()].remove_probe(index);
+        self.crv_ledger.probe_removed(probe.id, &self.feasibility);
+        probe
+    }
+
+    /// Removes and returns every queued probe of `worker` matching
+    /// `predicate` (work stealing), keeping the CRV ledger in sync.
+    pub fn steal_probes_if(
+        &mut self,
+        worker: WorkerId,
+        predicate: impl FnMut(&Probe) -> bool,
+    ) -> Vec<Probe> {
+        let stolen = self.workers[worker.index()].steal_if(predicate);
+        for probe in &stolen {
+            self.crv_ledger.probe_removed(probe.id, &self.feasibility);
+        }
+        stolen
+    }
+
+    /// Occupies a slot of `worker` with `task`, keeping the CRV ledger's
+    /// idle-supply side in sync.
+    pub fn start_task_on(&mut self, worker: WorkerId, task: RunningTask, now: SimTime) {
+        let w = &mut self.workers[worker.index()];
+        let was_idle = w.is_idle();
+        w.start_task(task, now);
+        if was_idle {
+            self.crv_ledger.worker_busy(worker.index());
+        }
+    }
+
+    /// Clears the slot of `worker` running sequence `seq`, keeping the CRV
+    /// ledger's idle-supply side in sync.
+    pub fn finish_task_on(&mut self, worker: WorkerId, seq: u64) -> RunningTask {
+        let w = &mut self.workers[worker.index()];
+        let task = w.finish_task(seq);
+        if w.is_idle() {
+            self.crv_ledger.worker_idle(worker.index());
+        }
+        task
+    }
+
+    /// Rebuilds the CRV ledger from scratch out of the current queues and
+    /// slots. For tests and harnesses that mutate workers directly.
+    pub fn rebuild_crv_ledger(&mut self) {
+        let mut ledger = CrvLedger::new(self.workers.len());
+        for (i, w) in self.workers.iter().enumerate() {
+            if !w.is_idle() {
+                ledger.worker_busy(i);
+            }
+        }
+        for w in &self.workers {
+            for p in w.queue() {
+                let set = &self.jobs[p.job.0 as usize].effective_constraints;
+                ledger.probe_enqueued(p.id, set, &self.feasibility);
+            }
+        }
+        self.crv_ledger = ledger;
     }
 }
 
@@ -83,6 +176,7 @@ impl Simulation {
         seed: u64,
     ) -> Self {
         assert!(!feasibility.is_empty(), "cluster must have workers");
+        let n_workers = feasibility.len();
         let slots = config.slots_per_worker.max(1);
         let workers = (0..feasibility.len())
             .map(|_| Worker::with_slots(slots))
@@ -103,6 +197,7 @@ impl Simulation {
                 metrics,
                 rng: StdRng::seed_from_u64(seed),
                 touched: Vec::new(),
+                crv_ledger: CrvLedger::new(n_workers),
                 next_probe: 0,
                 next_task_seq: 0,
             },
@@ -175,7 +270,7 @@ impl Simulation {
             }
             Event::ProbeArrival(worker, mut probe) => {
                 probe.enqueued_at = self.state.now;
-                self.state.workers[worker.index()].enqueue(probe);
+                self.state.enqueue_probe(worker, probe);
                 let mut ctx = SimCtx {
                     state: &mut self.state,
                     events: &mut self.events,
@@ -184,7 +279,7 @@ impl Simulation {
                 self.state.touched.push(worker);
             }
             Event::TaskFinish(worker, seq) => {
-                let task = self.state.workers[worker.index()].finish_task(seq);
+                let task = self.state.finish_task_on(worker, seq);
                 self.state.metrics.counters.tasks_completed += 1;
                 let job_idx = task.job.0 as usize;
                 let done = self.state.jobs[job_idx].complete_task(self.state.now);
@@ -220,6 +315,11 @@ impl Simulation {
 
     fn drain_touched(&mut self) {
         while let Some(worker) = self.state.touched.pop() {
+            // Conservation audit: a policy hook may have reordered the
+            // queue through `Worker::queue_mut`; verify it did not desync
+            // the cached bound-work aggregate.
+            #[cfg(debug_assertions)]
+            self.state.workers[worker.index()].audit_bound_work();
             self.try_dispatch(worker);
         }
     }
@@ -236,7 +336,7 @@ impl Simulation {
             let Some(idx) = self.scheduler.select_probe(worker, &self.state) else {
                 return;
             };
-            let probe = self.state.workers[worker.index()].remove_probe(idx);
+            let probe = self.state.remove_probe_at(worker, idx);
             let job_idx = probe.job.0 as usize;
             let (raw_duration_us, fetch_delay) = match probe.bound_duration_us {
                 // Early-bound task: the payload travelled with the probe.
@@ -286,7 +386,8 @@ impl Simulation {
             }
             let seq = self.state.next_task_seq;
             self.state.next_task_seq += 1;
-            self.state.workers[worker.index()].start_task(
+            self.state.start_task_on(
+                worker,
                 RunningTask {
                     job: probe.job,
                     finish_at: finish,

@@ -60,6 +60,7 @@
 
 pub mod config;
 pub mod context;
+pub mod crvledger;
 pub mod engine;
 pub mod event;
 pub mod jobstate;
@@ -72,6 +73,7 @@ pub mod worker;
 
 pub use config::SimConfig;
 pub use context::SimCtx;
+pub use crvledger::CrvLedger;
 pub use engine::{SimState, Simulation};
 pub use event::{Event, EventQueue};
 pub use jobstate::JobState;

@@ -151,9 +151,36 @@ impl Worker {
     /// Reordering must preserve the multiset of probes; the engine's
     /// conservation accounting assumes probes are only added via
     /// [`Worker::enqueue`] and removed via [`Worker::remove_probe`] /
-    /// [`Worker::steal_if`].
+    /// [`Worker::steal_if`]. In particular, mutating a probe's
+    /// `bound_duration_us` through this slice desyncs the cached
+    /// [`Worker::queued_bound_work_us`] aggregate — the engine audits the
+    /// aggregate in debug builds ([`Worker::audit_bound_work`]) and panics
+    /// on divergence.
     pub fn queue_mut(&mut self) -> &mut [Probe] {
         &mut self.queue
+    }
+
+    /// Recomputes the bound-work aggregate directly from the queue.
+    pub fn recomputed_bound_work_us(&self) -> u64 {
+        self.queue.iter().filter_map(|p| p.bound_duration_us).sum()
+    }
+
+    /// Asserts the cached [`Worker::queued_bound_work_us`] aggregate still
+    /// matches the queue contents. The engine invokes this (debug builds
+    /// only) before dispatching a touched worker, catching policies that
+    /// desynced the aggregate through [`Worker::queue_mut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cached aggregate diverged.
+    pub fn audit_bound_work(&self) {
+        let recomputed = self.recomputed_bound_work_us();
+        assert_eq!(
+            self.queued_bound_work_us, recomputed,
+            "queued_bound_work_us desynced: cached {} vs recomputed {} \
+             (a policy mutated bound_duration_us via queue_mut?)",
+            self.queued_bound_work_us, recomputed
+        );
     }
 
     /// Appends a probe to the tail of the queue.

@@ -1,0 +1,101 @@
+//! The engine's debug conservation audit: a policy that desyncs the cached
+//! `queued_bound_work_us` aggregate through `Worker::queue_mut` is caught
+//! before the next dispatch.
+
+use phoenix_constraints::{FeasibilityIndex, MachinePopulation, PopulationProfile};
+use phoenix_sim::{Scheduler, SimConfig, SimCtx, Simulation, WorkerId};
+use phoenix_traces::{Job, JobId, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn one_short_job_trace() -> Trace {
+    Trace::new(
+        "t",
+        vec![Job {
+            id: JobId(0),
+            arrival_s: 0.0,
+            task_durations_s: vec![1.0],
+            estimated_task_duration_s: 1.0,
+            constraints: Default::default(),
+            short: true,
+            user: 0,
+        }],
+    )
+}
+
+fn simulation(scheduler: Box<dyn Scheduler>) -> Simulation {
+    let mut rng = StdRng::seed_from_u64(3);
+    let cluster = MachinePopulation::generate(PopulationProfile::google_like(), 4, &mut rng);
+    Simulation::new(
+        SimConfig::default(),
+        FeasibilityIndex::new(cluster.into_machines()),
+        &one_short_job_trace(),
+        scheduler,
+        3,
+    )
+}
+
+/// Sends one speculative probe, then rewrites its bound duration in place —
+/// exactly the desync `Worker::queue_mut` makes possible.
+#[derive(Debug)]
+struct DesyncingScheduler;
+
+impl Scheduler for DesyncingScheduler {
+    fn name(&self) -> &str {
+        "desyncing"
+    }
+
+    fn on_job_arrival(&mut self, job: JobId, ctx: &mut SimCtx<'_>) {
+        let probe = ctx.new_probe(job);
+        ctx.send_probe(WorkerId(0), probe);
+    }
+
+    fn on_probe_enqueued(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        // Illegally turn the queued speculative probe into a "bound" one
+        // without going through enqueue/remove: the cached aggregate no
+        // longer matches the queue.
+        if let Some(p) = ctx.worker_mut(worker).queue_mut().first_mut() {
+            p.bound_duration_us = Some(123_456);
+        }
+    }
+}
+
+/// A policy that only *reorders* through `queue_mut` stays within the
+/// contract and must not trip the audit.
+#[derive(Debug)]
+struct ReorderingScheduler;
+
+impl Scheduler for ReorderingScheduler {
+    fn name(&self) -> &str {
+        "reordering"
+    }
+
+    fn on_job_arrival(&mut self, job: JobId, ctx: &mut SimCtx<'_>) {
+        let bound = ctx.job_mut(job).take_task();
+        let probe = ctx.new_bound_probe(job, bound);
+        ctx.send_probe(WorkerId(0), probe);
+        let probe = ctx.new_probe(job);
+        ctx.send_probe(WorkerId(0), probe);
+    }
+
+    fn on_probe_enqueued(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        let w = ctx.worker_mut(worker);
+        if w.queue_len() >= 2 {
+            w.queue_mut().reverse();
+            w.promote_to_front(w.queue_len() - 1);
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "queued_bound_work_us desynced")]
+fn engine_audit_catches_bound_work_desync() {
+    simulation(Box::new(DesyncingScheduler)).run();
+}
+
+#[test]
+fn reordering_through_queue_mut_passes_the_audit() {
+    let result = simulation(Box::new(ReorderingScheduler)).run();
+    assert_eq!(result.incomplete_jobs, 0);
+}
