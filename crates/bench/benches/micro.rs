@@ -114,6 +114,7 @@ fn bench_monitor_refresh(c: &mut Criterion) {
             enqueued_at: SimTime::ZERO,
             bypass_count: 0,
             migrations: 0,
+            retries: 0,
         };
         state.enqueue_probe(WorkerId((i % 5_000) as u32), probe);
     }

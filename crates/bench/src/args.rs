@@ -1,5 +1,6 @@
 //! Minimal command-line scaling for the experiment binaries.
 
+use phoenix_sim::FaultPlan;
 use phoenix_traces::TraceProfile;
 
 /// Experiment scale: translates the paper's absolute cluster sizes into
@@ -13,6 +14,9 @@ pub struct Scale {
     pub jobs: usize,
     /// Seeds per data point (the paper averages five runs).
     pub seeds: u64,
+    /// Fault profile injected into every run (`FaultPlan::none()` unless
+    /// `--faults reference|heavy` is given).
+    pub faults: FaultPlan,
 }
 
 impl Scale {
@@ -25,6 +29,7 @@ impl Scale {
             node_factor: 0.1,
             jobs: 20_000,
             seeds: 3,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -34,6 +39,7 @@ impl Scale {
             node_factor: 0.06,
             jobs: 3_000,
             seeds: 1,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -44,11 +50,13 @@ impl Scale {
             node_factor: 0.33,
             jobs: 100_000,
             seeds: 5,
+            faults: FaultPlan::none(),
         }
     }
 
     /// Parses `--scale quick|smoke|full` (and optional `--seeds N`,
-    /// `--jobs N`) from the process arguments; defaults to quick.
+    /// `--jobs N`, `--faults none|reference|heavy`) from the process
+    /// arguments; defaults to quick, fault-free.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let mut scale = Scale::quick();
@@ -72,6 +80,12 @@ impl Scale {
                 "--jobs" if i + 1 < args.len() => {
                     if let Ok(n) = args[i + 1].parse() {
                         scale.jobs = n;
+                    }
+                    i += 1;
+                }
+                "--faults" if i + 1 < args.len() => {
+                    if let Some(plan) = FaultPlan::by_name(args[i + 1].as_str()) {
+                        scale.faults = plan;
                     }
                     i += 1;
                 }

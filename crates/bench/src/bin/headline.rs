@@ -51,6 +51,7 @@ fn main() {
                 spec.gen_util = 0.92;
                 spec.jobs = scale.jobs;
                 spec.record_task_waits = false;
+                spec.faults = scale.faults;
                 spec
             })
             .collect();

@@ -133,6 +133,7 @@ mod tests {
             node_factor: 0.012,
             jobs: 300,
             seeds: 1,
+            faults: phoenix_sim::FaultPlan::none(),
         };
         let points = sweep(
             &TraceProfile::yahoo(),

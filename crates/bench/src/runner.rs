@@ -8,7 +8,7 @@ use phoenix_core::{Phoenix, PhoenixConfig};
 use phoenix_schedulers::{
     BaselineConfig, ChoosyC, EagleC, HawkC, MercuryC, MonolithicC, SparrowC, YaqD,
 };
-use phoenix_sim::{Scheduler, SimConfig, SimResult, Simulation};
+use phoenix_sim::{FaultPlan, Scheduler, SimConfig, SimResult, Simulation};
 use phoenix_traces::{TraceGenerator, TraceProfile};
 
 /// The schedulers the paper evaluates.
@@ -111,6 +111,9 @@ pub struct RunSpec {
     pub seed: u64,
     /// Record per-task wait samples (heavier; needed for CDF figures).
     pub record_task_waits: bool,
+    /// Fault profile injected into the run ([`FaultPlan::none`] for the
+    /// paper's fault-free experiments).
+    pub faults: FaultPlan,
 }
 
 impl RunSpec {
@@ -127,6 +130,7 @@ impl RunSpec {
             gen_util: 0.9,
             seed: 1,
             record_task_waits: true,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -148,6 +152,12 @@ impl RunSpec {
         self.scheduler = scheduler;
         self
     }
+
+    /// Returns a copy with a different fault profile.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// Executes one run: generates the cluster and trace, simulates, returns
@@ -164,6 +174,7 @@ pub fn run_spec(spec: &RunSpec) -> SimResult {
     let cutoff = spec.profile.short_cutoff_s();
     let config = SimConfig {
         record_task_waits: spec.record_task_waits,
+        faults: spec.faults,
         ..SimConfig::default()
     };
     Simulation::new(

@@ -46,6 +46,13 @@ pub fn negotiate_targets(
             if targets.is_empty() {
                 targets = ctx.sample_feasible_workers(&current, count);
             }
+            if targets.is_empty() {
+                // Only reachable under fault injection: every feasible
+                // worker is down. Target dead workers anyway — the engine
+                // bounces the probes into the retry path.
+                debug_assert!(ctx.config().faults.is_active(), "feasibility checked above");
+                targets = ctx.sample_feasible_workers_any(&current, count);
+            }
             debug_assert!(!targets.is_empty());
             let placement = if relaxed == 0 {
                 Placement::Full(targets)

@@ -154,7 +154,11 @@ impl CrvMonitor {
         }
 
         // Pass 2: idle workers.
-        let idle: Vec<bool> = state.workers.iter().map(|w| w.is_idle()).collect();
+        let idle: Vec<bool> = state
+            .workers
+            .iter()
+            .map(|w| w.is_idle() && w.is_alive())
+            .collect();
         snapshot.idle_workers = idle.iter().filter(|&&b| b).count();
 
         // Pass 3: supply per kind = idle workers satisfying any queued
@@ -234,6 +238,7 @@ mod tests {
                 enqueued_at: SimTime::ZERO,
                 bypass_count: 0,
                 migrations: 0,
+                retries: 0,
             },
         );
     }
@@ -292,6 +297,8 @@ mod tests {
                     job: JobId(0),
                     finish_at: SimTime::from_secs_f64(100.0),
                     duration_us: 100_000_000,
+                    raw_duration_us: 100_000_000,
+                    slowdown: 1.0,
                     bound: false,
                     seq: u64::from(i),
                 },
@@ -327,6 +334,8 @@ mod tests {
                 job: JobId(0),
                 finish_at: SimTime::from_secs_f64(10.0),
                 duration_us: 10_000_000,
+                raw_duration_us: 10_000_000,
+                slowdown: 1.0,
                 bound: false,
                 seq: 0,
             },

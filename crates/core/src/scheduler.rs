@@ -93,9 +93,14 @@ impl Phoenix {
     fn pick_least_wait(
         &self,
         ctx: &SimCtx<'_>,
-        candidates: Vec<WorkerId>,
+        mut candidates: Vec<WorkerId>,
         want: usize,
     ) -> Vec<WorkerId> {
+        // Dead workers look attractively empty; prefer live ones whenever
+        // any exist (pure filter — identical when every worker is alive).
+        if candidates.iter().any(|&w| ctx.worker(w).is_alive()) {
+            candidates.retain(|&w| ctx.worker(w).is_alive());
+        }
         let mut scored: Vec<(u64, WorkerId)> = candidates
             .into_iter()
             .map(|w| {
@@ -359,7 +364,7 @@ impl Scheduler for Phoenix {
         let est = ctx.job(job).estimated_task_us;
         let job_is_short = self.config.baseline.is_short(est);
         if !job_is_short {
-            self.long_busy.remove(worker);
+            self.long_busy.release(worker);
         }
         // Sticky batch probing (inherited from Eagle).
         if job_is_short && ctx.job(job).has_pending() {
@@ -379,6 +384,33 @@ impl Scheduler for Phoenix {
             if stolen > 0 {
                 ctx.touch(worker);
             }
+        }
+    }
+
+    fn on_probe_retry(&mut self, probe: phoenix_sim::Probe, ctx: &mut SimCtx<'_>) {
+        // Re-place with Phoenix's wait-aware policy: sample live feasible
+        // workers and pick the least estimated wait.
+        let job = ctx.job(probe.job);
+        if job.is_failed() || (!probe.is_bound() && !job.has_pending()) {
+            if !probe.is_bound() && !job.is_failed() {
+                ctx.counters_mut().redundant_probes += 1;
+            }
+            return;
+        }
+        let set = job.effective_constraints.clone();
+        let candidates = ctx.sample_feasible_workers(&set, 4);
+        match self.pick_least_wait(ctx, candidates, 1).into_iter().next() {
+            Some(w) => ctx.resend_probe(w, probe),
+            None => ctx.retry_probe_later(probe),
+        }
+    }
+
+    fn on_worker_crash(&mut self, worker: WorkerId, _ctx: &mut SimCtx<'_>) {
+        // Every centrally-placed long task there died with the worker (and
+        // its queued long probes were dropped): clear the whole SSS mark.
+        // The map is sized lazily on first arrival; a crash may beat it.
+        if !self.long_busy.is_empty() {
+            self.long_busy.clear(worker);
         }
     }
 }

@@ -85,9 +85,14 @@ fn apply_op(
 ) {
     let worker = WorkerId(u32::from(a) % WORKERS as u32);
     let n_jobs = state.jobs.len() as u64;
+    let alive = state.workers[worker.index()].is_alive();
     match op {
-        // Enqueue at the tail.
+        // Enqueue at the tail. The engine never delivers probes to dead
+        // workers (arrivals bounce into the retry path), so mirror that.
         0 | 1 => {
+            if !alive {
+                return;
+            }
             let probe = Probe {
                 id: ProbeId(*next_probe),
                 job: JobId((u64::from(b) % n_jobs) as u32),
@@ -96,12 +101,16 @@ fn apply_op(
                 enqueued_at: SimTime::ZERO,
                 bypass_count: 0,
                 migrations: 0,
+                retries: 0,
             };
             *next_probe += 1;
             state.enqueue_probe(worker, probe);
         }
         // Enqueue at the front (sticky batch probing).
         2 => {
+            if !alive {
+                return;
+            }
             let probe = Probe {
                 id: ProbeId(*next_probe),
                 job: JobId((u64::from(b) % n_jobs) as u32),
@@ -110,6 +119,7 @@ fn apply_op(
                 enqueued_at: SimTime::ZERO,
                 bypass_count: 0,
                 migrations: 0,
+                retries: 0,
             };
             *next_probe += 1;
             state.enqueue_probe_front(worker, probe);
@@ -126,9 +136,9 @@ fn apply_op(
             let residue = u64::from(b) % 3;
             let _ = state.steal_probes_if(worker, |p| p.id.0 % 3 == residue);
         }
-        // Occupy a slot (idle → busy transition).
+        // Occupy a slot (idle → busy transition). Dead workers run nothing.
         5 => {
-            if state.workers[worker.index()].has_free_slot() {
+            if alive && state.workers[worker.index()].has_free_slot() {
                 let seq = *next_seq;
                 *next_seq += 1;
                 state.start_task_on(
@@ -137,6 +147,8 @@ fn apply_op(
                         job: JobId((u64::from(b) % n_jobs) as u32),
                         finish_at: SimTime::from_secs_f64(100.0),
                         duration_us: 1_000,
+                        raw_duration_us: 1_000,
+                        slowdown: 1.0,
                         bound: false,
                         seq,
                     },
@@ -151,21 +163,34 @@ fn apply_op(
             }
         }
         // Pure reordering: must not need (or disturb) ledger accounting.
-        _ => {
+        7 => {
             let len = state.workers[worker.index()].queue_len();
             if len > 1 {
                 state.workers[worker.index()].promote_to_front(usize::from(b) % len);
+            }
+        }
+        // Crash: kills running tasks, drops queued probes, removes the
+        // worker's idle supply.
+        8 => {
+            if alive {
+                let _ = state.crash_worker(worker);
+            }
+        }
+        // Recover: the worker's idle supply returns.
+        _ => {
+            if !alive {
+                state.recover_worker(worker);
             }
         }
     }
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
     fn incremental_table_matches_rescan_after_every_op(
-        ops in prop::collection::vec((0u8..8, 0u16..64, 0u16..64), 0..60),
+        ops in prop::collection::vec((0u8..10, 0u16..64, 0u16..64), 0..60),
     ) {
         let mut state = build_state();
         let mut next_probe = 0u64;

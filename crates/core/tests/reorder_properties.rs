@@ -70,6 +70,7 @@ proptest! {
                 enqueued_at: SimTime::ZERO,
                 bypass_count: *bypasses.get(i).unwrap_or(&0),
                 migrations: 0,
+                retries: 0,
             });
         }
         let pinned_before: Vec<u64> = state.workers[0]

@@ -72,6 +72,21 @@ impl CentralPlanner {
             ctx.job_mut(job).effective_constraints = hard;
         }
 
+        // Under fault injection, prefer live workers when any exist; if the
+        // whole feasible set is down, keep it — probes bounced off dead
+        // workers re-enter placement via the retry path. (Pure filter, no
+        // RNG: draw-neutral when every worker is alive.)
+        if ctx.config().faults.is_active() {
+            let alive: Vec<WorkerId> = feasible
+                .iter()
+                .copied()
+                .filter(|&w| ctx.worker(w).is_alive())
+                .collect();
+            if !alive.is_empty() {
+                feasible = alive;
+            }
+        }
+
         // Load-ordered placement with per-placement adjustment: track the
         // extra work we assign within this job so its tasks spread.
         let mut loads: Vec<(u64, WorkerId)> = feasible

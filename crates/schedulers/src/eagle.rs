@@ -137,7 +137,7 @@ impl Scheduler for EagleC {
         let est = ctx.job(job).estimated_task_us;
         let job_is_short = self.is_short_job(est);
         if !job_is_short {
-            self.long_busy.remove(worker);
+            self.long_busy.release(worker);
         }
         let _ = duration_us;
         // Sticky batch probing: keep serving the same short job.
@@ -159,6 +159,15 @@ impl Scheduler for EagleC {
             if stolen > 0 {
                 ctx.touch(worker);
             }
+        }
+    }
+
+    fn on_worker_crash(&mut self, worker: WorkerId, _ctx: &mut SimCtx<'_>) {
+        // Every centrally-placed long task there died with the worker (and
+        // its queued long probes were dropped): clear the whole SSS mark.
+        // The map is sized lazily on first arrival; a crash may beat it.
+        if !self.long_busy.is_empty() {
+            self.long_busy.clear(worker);
         }
     }
 }

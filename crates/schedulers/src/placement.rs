@@ -113,7 +113,10 @@ pub fn apply_placement_preference(
 /// 2. full constraint set, ignoring `exclude` (the exclusion is advisory —
 ///    e.g. Eagle's divide — never correctness);
 /// 3. hard constraints only (soft constraints dropped, slowdown applied);
-/// 4. `None` — the job is hard-unsatisfiable on this cluster.
+/// 4. under fault injection only: the same two sets ignoring worker
+///    aliveness — every feasible worker may be down mid-outage, and a probe
+///    sent to a dead worker just bounces into the engine's retry path;
+/// 5. `None` — the job is hard-unsatisfiable on this cluster.
 pub fn choose_targets(
     ctx: &mut SimCtx<'_>,
     set: &ConstraintSet,
@@ -142,12 +145,26 @@ pub fn choose_targets(
     }
     let hard = set.hard_only();
     let targets = ctx.sample_feasible_workers(&hard, sample);
-    if targets.is_empty() {
-        None
-    } else {
+    if !targets.is_empty() {
         let targets = arrange(ctx.state(), targets);
-        Some(Placement::HardOnly(targets, relaxation_slowdown(set)))
+        return Some(Placement::HardOnly(targets, relaxation_slowdown(set)));
     }
+    // Gated on fault injection: with faults disabled these rungs are never
+    // reached for satisfiable jobs, and skipping them keeps unsatisfiable
+    // jobs from consuming extra RNG draws.
+    if ctx.config().faults.is_active() {
+        let targets = ctx.sample_feasible_workers_any(set, sample);
+        if !targets.is_empty() {
+            let targets = arrange(ctx.state(), targets);
+            return Some(Placement::Full(targets));
+        }
+        let targets = ctx.sample_feasible_workers_any(&hard, sample);
+        if !targets.is_empty() {
+            let targets = arrange(ctx.state(), targets);
+            return Some(Placement::HardOnly(targets, relaxation_slowdown(set)));
+        }
+    }
+    None
 }
 
 /// Sends `count` speculative probes for `job` round-robin over `placement`'s

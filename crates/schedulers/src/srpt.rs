@@ -138,6 +138,7 @@ mod tests {
             enqueued_at: SimTime::ZERO,
             bypass_count: 0,
             migrations: 0,
+            retries: 0,
         };
         state.workers[worker.index()].enqueue(probe);
     }

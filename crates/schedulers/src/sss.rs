@@ -38,6 +38,23 @@ impl LongBusyMap {
         *c -= 1;
     }
 
+    /// Clears one long task from `worker` if any is recorded, saturating at
+    /// zero. Used on task completion under fault injection: a long task
+    /// re-placed through the crash/retry path was never re-counted (the SSS
+    /// census is advisory), so its completion must not underflow the count
+    /// of an unrelated placement.
+    pub fn release(&mut self, worker: WorkerId) {
+        let c = &mut self.counts[worker.index()];
+        *c = c.saturating_sub(1);
+    }
+
+    /// Clears *all* long work recorded on `worker` (the worker crashed:
+    /// running long tasks were killed and queued long probes dropped).
+    /// Returns the number of cleared marks.
+    pub fn clear(&mut self, worker: WorkerId) -> u32 {
+        std::mem::take(&mut self.counts[worker.index()])
+    }
+
     /// Whether `worker` holds any long work.
     pub fn is_long_busy(&self, worker: WorkerId) -> bool {
         self.counts[worker.index()] > 0
@@ -82,6 +99,18 @@ mod tests {
     fn remove_without_add_panics() {
         let mut m = LongBusyMap::new(2);
         m.remove(WorkerId(0));
+    }
+
+    #[test]
+    fn release_saturates_and_clear_empties() {
+        let mut m = LongBusyMap::new(3);
+        m.release(WorkerId(1)); // no-op, not a panic
+        assert!(!m.is_long_busy(WorkerId(1)));
+        m.add(WorkerId(1));
+        m.add(WorkerId(1));
+        assert_eq!(m.clear(WorkerId(1)), 2);
+        assert!(!m.is_long_busy(WorkerId(1)));
+        assert_eq!(m.clear(WorkerId(1)), 0);
     }
 
     #[test]

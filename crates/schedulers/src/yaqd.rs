@@ -64,8 +64,14 @@ impl Scheduler for YaqD {
         let bound = self.config.queue_bound;
         while ctx.job(job).has_pending() {
             let duration = ctx.job_mut(job).take_task();
-            let candidates = ctx.sample_feasible_workers(&set, d);
-            debug_assert!(!candidates.is_empty(), "feasibility checked above");
+            let mut candidates = ctx.sample_feasible_workers(&set, d);
+            if candidates.is_empty() {
+                // Only reachable under fault injection: every feasible
+                // worker is down right now. Bind to a dead worker anyway —
+                // the engine bounces the probe into the retry path.
+                debug_assert!(ctx.config().faults.is_active(), "feasibility checked above");
+                candidates = ctx.sample_feasible_workers_any(&set, d);
+            }
             // Prefer under-bound queues; among them, least estimated work.
             let best = candidates
                 .iter()
@@ -83,6 +89,26 @@ impl Scheduler for YaqD {
 
     fn on_probe_enqueued(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
         srpt_insert_tail(ctx.state_mut(), worker, self.config.slack_threshold);
+    }
+
+    fn on_probe_retry(&mut self, probe: phoenix_sim::Probe, ctx: &mut SimCtx<'_>) {
+        // Re-place with Yaq-d's own policy: least estimated work among
+        // under-bound live candidates.
+        let job = ctx.job(probe.job);
+        if job.is_failed() || (!probe.is_bound() && !job.has_pending()) {
+            return;
+        }
+        let set = job.effective_constraints.clone();
+        let bound = self.config.queue_bound;
+        let candidates = ctx.sample_feasible_workers(&set, self.candidates_per_task());
+        let best = candidates.iter().copied().min_by_key(|&w| {
+            let over = usize::from(ctx.worker(w).queue_len() >= bound);
+            (over, estimated_queue_work_us(ctx.state(), w), w.0)
+        });
+        match best {
+            Some(w) => ctx.resend_probe(w, probe),
+            None => ctx.retry_probe_later(probe),
+        }
     }
 }
 

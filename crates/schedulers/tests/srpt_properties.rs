@@ -53,6 +53,7 @@ proptest! {
                 enqueued_at: SimTime::ZERO,
                 bypass_count: 0,
                 migrations: 0,
+                retries: 0,
             });
             srpt_insert_tail(&mut state, w, slack);
             prop_assert!(

@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::fault::FaultPlan;
 use crate::time::SimDuration;
 
 /// Engine-level parameters (scheduler-specific parameters such as probe
@@ -24,6 +25,9 @@ pub struct SimConfig {
     /// Execution slots per worker. The paper's model (and the default) is
     /// one slot per worker; larger values are an extension.
     pub slots_per_worker: usize,
+    /// Fault-injection plan (worker churn, probe loss/delay, heartbeat
+    /// jitter). Defaults to [`FaultPlan::none`], which costs nothing.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -42,6 +46,7 @@ impl Default for SimConfig {
             scale_duration_by_clock: false,
             reference_clock_mhz: 2_200,
             slots_per_worker: 1,
+            faults: FaultPlan::none(),
         }
     }
 }

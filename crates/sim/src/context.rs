@@ -1,6 +1,7 @@
 //! The mutation interface schedulers use during hooks.
 
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use phoenix_constraints::FeasibilityIndex;
 use phoenix_traces::JobId;
@@ -112,6 +113,7 @@ impl<'a> SimCtx<'a> {
             enqueued_at: self.state.now,
             bypass_count: 0,
             migrations: 0,
+            retries: 0,
         }
     }
 
@@ -139,15 +141,48 @@ impl<'a> SimCtx<'a> {
     /// rebalancing); it arrives after the one-way network delay. Does not
     /// touch the send counters — bump [`Counters::stolen_probes`] yourself
     /// if this is a steal.
+    ///
+    /// Under fault injection the transfer may be lost (the probe re-enters
+    /// placement via [`crate::Scheduler::on_probe_retry`] after its
+    /// backoff) or delayed by an extra uniform amount. With
+    /// [`crate::FaultPlan::none`] neither gate draws randomness.
     pub fn transfer_probe(&mut self, worker: WorkerId, probe: Probe) {
-        let at = self.state.now + self.state.config.network_delay;
-        self.events.schedule(at, Event::ProbeArrival(worker, probe));
+        let state = &mut *self.state;
+        let faults = &state.config.faults;
+        if faults.probe_loss > 0.0 && state.fault_rng.random_bool(faults.probe_loss) {
+            state.metrics.counters.probes_lost += 1;
+            let mut lost = probe;
+            let backoff = faults.retry_delay(lost.retries);
+            lost.retries = lost.retries.saturating_add(1);
+            self.events
+                .schedule(state.now + backoff, Event::ProbeRetry(lost));
+            return;
+        }
+        let mut delay = state.config.network_delay;
+        if faults.probe_delay_prob > 0.0 && state.fault_rng.random_bool(faults.probe_delay_prob) {
+            let max = state.config.faults.probe_delay_max.as_micros();
+            if max > 0 {
+                delay = delay + SimDuration(state.fault_rng.random_range(0..max));
+                state.metrics.counters.probes_delayed += 1;
+            }
+        }
+        self.events
+            .schedule(state.now + delay, Event::ProbeArrival(worker, probe));
     }
 
     /// Requests a [`crate::Scheduler::on_wakeup`] callback after `delay`.
+    /// Under fault injection the wakeup slips by up to
+    /// [`crate::FaultPlan::heartbeat_jitter`].
     pub fn schedule_wakeup(&mut self, delay: SimDuration, token: u64) {
+        let state = &mut *self.state;
+        let jitter = state.config.faults.heartbeat_jitter.as_micros();
+        let slip = if jitter > 0 {
+            SimDuration(state.fault_rng.random_range(0..jitter))
+        } else {
+            SimDuration::ZERO
+        };
         self.events
-            .schedule(self.state.now + delay, Event::SchedulerWakeup(token));
+            .schedule(state.now + delay + slip, Event::SchedulerWakeup(token));
     }
 
     /// Marks a worker as needing a dispatch check once the current hook
@@ -169,7 +204,9 @@ impl<'a> SimCtx<'a> {
 
     /// Samples up to `k` distinct workers able to satisfy `set`, uniformly
     /// at random (see
-    /// [`FeasibilityIndex::sample_feasible`]).
+    /// [`FeasibilityIndex::sample_feasible`]). Crashed workers are never
+    /// returned; when every worker is alive the draws are identical to a
+    /// run without the aliveness filter.
     pub fn sample_feasible_workers(
         &mut self,
         set: &phoenix_constraints::ConstraintSet,
@@ -179,17 +216,40 @@ impl<'a> SimCtx<'a> {
     }
 
     /// Like [`SimCtx::sample_feasible_workers`], skipping workers for which
-    /// `exclude` returns true.
+    /// `exclude` returns true (crashed workers are skipped regardless).
     pub fn sample_feasible_workers_excluding(
         &mut self,
         set: &phoenix_constraints::ConstraintSet,
         k: usize,
-        exclude: impl FnMut(u32) -> bool,
+        mut exclude: impl FnMut(u32) -> bool,
+    ) -> Vec<WorkerId> {
+        let state = &mut *self.state;
+        let workers = &state.workers;
+        state
+            .feasibility
+            .sample_feasible(set, k, &mut state.rng, |w| {
+                exclude(w) || !workers[w as usize].is_alive()
+            })
+            .into_iter()
+            .map(WorkerId)
+            .collect()
+    }
+
+    /// Samples feasible workers *ignoring aliveness* — the last-resort rung
+    /// for placements that must target somewhere even mid-outage. Sending
+    /// to a dead worker is safe: the engine bounces the probe into the
+    /// retry path, so a dead target only costs one backoff. Call this only
+    /// on fault-gated paths: it consumes RNG draws, so reaching it with
+    /// faults disabled would perturb the deterministic stream.
+    pub fn sample_feasible_workers_any(
+        &mut self,
+        set: &phoenix_constraints::ConstraintSet,
+        k: usize,
     ) -> Vec<WorkerId> {
         let state = &mut *self.state;
         state
             .feasibility
-            .sample_feasible(set, k, &mut state.rng, exclude)
+            .sample_feasible(set, k, &mut state.rng, |_| false)
             .into_iter()
             .map(WorkerId)
             .collect()
@@ -220,5 +280,45 @@ impl<'a> SimCtx<'a> {
         predicate: impl FnMut(&Probe) -> bool,
     ) -> Vec<Probe> {
         self.state.steal_probes_if(worker, predicate)
+    }
+
+    /// The default fault-recovery action for a probe whose placement was
+    /// undone (lost in flight, dead target, or killed by a crash): resend
+    /// it to one freshly sampled live feasible worker. Speculative probes
+    /// whose job no longer needs them are discarded as redundant; when no
+    /// live feasible worker exists right now the probe re-arms its backoff
+    /// and tries again later (recovery events guarantee progress).
+    pub fn default_probe_retry(&mut self, probe: Probe) {
+        let job = &self.state.jobs[probe.job.0 as usize];
+        if job.is_failed() || (!probe.is_bound() && !job.has_pending()) {
+            if !probe.is_bound() && !job.is_failed() {
+                self.state.metrics.counters.redundant_probes += 1;
+            }
+            return;
+        }
+        let set = job.effective_constraints.clone();
+        match self.sample_feasible_workers(&set, 1).first() {
+            Some(&w) => self.resend_probe(w, probe),
+            None => self.retry_probe_later(probe),
+        }
+    }
+
+    /// Resends a retried probe to `worker`, counting the retry. Resets the
+    /// probe's bypass counter (it is joining a fresh queue, not being
+    /// starved in an old one).
+    pub fn resend_probe(&mut self, worker: WorkerId, mut probe: Probe) {
+        self.state.metrics.counters.probe_retries += 1;
+        probe.bypass_count = 0;
+        self.transfer_probe(worker, probe);
+    }
+
+    /// Re-arms a retried probe's backoff timer without resending (used
+    /// when every feasible worker is currently down). The backoff keeps
+    /// growing up to the [`crate::FaultPlan`] cap.
+    pub fn retry_probe_later(&mut self, mut probe: Probe) {
+        let backoff = self.state.config.faults.retry_delay(probe.retries);
+        probe.retries = probe.retries.saturating_add(1);
+        self.events
+            .schedule(self.state.now + backoff, Event::ProbeRetry(probe));
     }
 }

@@ -1,7 +1,7 @@
 //! The discrete-event simulation engine.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use phoenix_constraints::FeasibilityIndex;
 use phoenix_traces::Trace;
@@ -34,11 +34,19 @@ pub struct SimState {
     /// Metrics under accumulation.
     pub metrics: SimMetrics,
     pub(crate) rng: StdRng,
+    /// Dedicated RNG stream for fault injection. Separate from the policy
+    /// RNG so that enabling/disabling faults never shifts the draws
+    /// schedulers see, and a [`crate::FaultPlan::none`] run stays
+    /// byte-identical to a build without the fault layer.
+    pub(crate) fault_rng: StdRng,
     pub(crate) touched: Vec<WorkerId>,
     crv_ledger: CrvLedger,
     next_probe: u64,
     next_task_seq: u64,
 }
+
+/// XOR'd into the simulation seed to derive the fault RNG stream.
+const FAULT_SEED_SALT: u64 = 0xF417_5EED_0BAD_C0DE;
 
 impl SimState {
     pub(crate) fn next_probe_id(&mut self) -> ProbeId {
@@ -120,12 +128,42 @@ impl SimState {
         task
     }
 
+    /// Crashes `worker`: drops its queued probes, kills its running tasks,
+    /// and marks it down, keeping the CRV ledger exact (a dead worker is
+    /// never idle supply) and refunding the killed tasks' not-yet-executed
+    /// time from the busy-time metric. Returns the casualties — the caller
+    /// (engine or test harness) decides how to fail them over.
+    pub fn crash_worker(&mut self, worker: WorkerId) -> (Vec<RunningTask>, Vec<Probe>) {
+        debug_assert!(self.workers[worker.index()].is_alive(), "double crash");
+        // Drain the queue through the ledger-aware path so each probe's
+        // demand is subtracted exactly once.
+        let dropped = self.steal_probes_if(worker, |_| true);
+        let now = self.now;
+        let w = &mut self.workers[worker.index()];
+        let (killed, unspent) = w.take_running_tasks(now);
+        w.set_alive(false);
+        // Supply removal: dead counts as busy; idempotent if it already was.
+        self.crv_ledger.worker_busy(worker.index());
+        self.metrics.busy_us = self.metrics.busy_us.saturating_sub(unspent);
+        (killed, dropped)
+    }
+
+    /// Brings a crashed worker back up, idle with an empty queue, restoring
+    /// its idle supply in the CRV ledger.
+    pub fn recover_worker(&mut self, worker: WorkerId) {
+        let w = &mut self.workers[worker.index()];
+        debug_assert!(!w.is_alive(), "recovering a live worker");
+        debug_assert!(w.is_idle() && w.queue_len() == 0, "crash did not drain");
+        w.set_alive(true);
+        self.crv_ledger.worker_idle(worker.index());
+    }
+
     /// Rebuilds the CRV ledger from scratch out of the current queues and
     /// slots. For tests and harnesses that mutate workers directly.
     pub fn rebuild_crv_ledger(&mut self) {
         let mut ledger = CrvLedger::new(self.workers.len());
         for (i, w) in self.workers.iter().enumerate() {
-            if !w.is_idle() {
+            if !w.is_idle() || !w.is_alive() {
                 ledger.worker_busy(i);
             }
         }
@@ -186,6 +224,13 @@ impl Simulation {
         for job in &jobs {
             events.schedule(job.arrival, Event::JobArrival(job.id.0));
         }
+        let mut fault_rng = StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT);
+        if config.faults.crashes_enabled() && !jobs.is_empty() {
+            let interval = config.faults.crash_interval.as_micros().max(1);
+            let at = SimDuration(interval / 2 + fault_rng.random_range(0..interval));
+            let victim = WorkerId(fault_rng.random_range(0..n_workers) as u32);
+            events.schedule(SimTime::ZERO + at, Event::WorkerCrash(victim));
+        }
         let metrics = SimMetrics::new(config.timeseries_bucket);
         Simulation {
             state: SimState {
@@ -196,6 +241,7 @@ impl Simulation {
                 feasibility,
                 metrics,
                 rng: StdRng::seed_from_u64(seed),
+                fault_rng,
                 touched: Vec::new(),
                 crv_ledger: CrvLedger::new(n_workers),
                 next_probe: 0,
@@ -233,6 +279,13 @@ impl Simulation {
             .iter()
             .filter(|j| !j.is_complete() && !j.is_failed())
             .count();
+        let lost_tasks: u64 = self
+            .state
+            .jobs
+            .iter()
+            .filter(|j| !j.is_failed())
+            .map(|j| (j.num_tasks() - j.completed_tasks()) as u64)
+            .sum();
         let job_outcomes = self
             .state
             .jobs
@@ -254,6 +307,7 @@ impl Simulation {
             counters: self.state.metrics.counters,
             metrics: self.state.metrics,
             incomplete_jobs: incomplete,
+            lost_tasks,
             job_outcomes,
         }
     }
@@ -269,6 +323,13 @@ impl Simulation {
                 self.scheduler.on_job_arrival(id, &mut ctx);
             }
             Event::ProbeArrival(worker, mut probe) => {
+                if !self.state.workers[worker.index()].is_alive() {
+                    // The target died while the probe was in flight: bounce
+                    // it into the retry path after its backoff.
+                    self.state.metrics.counters.probes_lost += 1;
+                    self.schedule_probe_retry(probe);
+                    return;
+                }
                 probe.enqueued_at = self.state.now;
                 self.state.enqueue_probe(worker, probe);
                 let mut ctx = SimCtx {
@@ -279,6 +340,11 @@ impl Simulation {
                 self.state.touched.push(worker);
             }
             Event::TaskFinish(worker, seq) => {
+                if !self.state.workers[worker.index()].has_running_seq(seq) {
+                    // Stale completion of a task killed by a crash; its
+                    // retry probe already carries the work elsewhere.
+                    return;
+                }
                 let task = self.state.finish_task_on(worker, seq);
                 self.state.metrics.counters.tasks_completed += 1;
                 let job_idx = task.job.0 as usize;
@@ -310,7 +376,119 @@ impl Simulation {
                 };
                 self.scheduler.on_wakeup(token, &mut ctx);
             }
+            Event::WorkerCrash(worker) => {
+                // Chain the next strike first (gated on outstanding work so
+                // the event loop terminates once the trace is done).
+                self.schedule_next_crash();
+                if self.state.workers[worker.index()].is_alive() {
+                    self.apply_crash(worker);
+                }
+            }
+            Event::WorkerRecover(worker) => {
+                self.state.recover_worker(worker);
+                self.state.metrics.counters.worker_recoveries += 1;
+                let mut ctx = SimCtx {
+                    state: &mut self.state,
+                    events: &mut self.events,
+                };
+                self.scheduler.on_worker_recover(worker, &mut ctx);
+            }
+            Event::ProbeRetry(probe) => {
+                let mut ctx = SimCtx {
+                    state: &mut self.state,
+                    events: &mut self.events,
+                };
+                self.scheduler.on_probe_retry(probe, &mut ctx);
+            }
         }
+    }
+
+    /// Bounces a casualty probe into the retry path: schedules a
+    /// [`Event::ProbeRetry`] after the probe's current backoff and bumps
+    /// its retry count.
+    fn schedule_probe_retry(&mut self, mut probe: Probe) {
+        let backoff = self.state.config.faults.retry_delay(probe.retries);
+        probe.retries = probe.retries.saturating_add(1);
+        self.events
+            .schedule(self.state.now + backoff, Event::ProbeRetry(probe));
+    }
+
+    /// Schedules the next crash strike (jittered interval, uniform victim)
+    /// while any job still has work outstanding.
+    fn schedule_next_crash(&mut self) {
+        if !self.state.config.faults.crashes_enabled() {
+            return;
+        }
+        if !self
+            .state
+            .jobs
+            .iter()
+            .any(|j| !j.is_complete() && !j.is_failed())
+        {
+            return;
+        }
+        let interval = self.state.config.faults.crash_interval.as_micros().max(1);
+        let n = self.state.workers.len();
+        let at = SimDuration(interval / 2 + self.state.fault_rng.random_range(0..interval));
+        let victim = WorkerId(self.state.fault_rng.random_range(0..n) as u32);
+        self.events
+            .schedule(self.state.now + at, Event::WorkerCrash(victim));
+    }
+
+    /// Delivers a crash strike to a live worker: kills its running tasks,
+    /// drops its queued probes, fails every casualty over into the retry
+    /// path, and schedules the recovery.
+    fn apply_crash(&mut self, worker: WorkerId) {
+        self.state.metrics.counters.worker_crashes += 1;
+        let (killed, dropped) = self.state.crash_worker(worker);
+        for probe in dropped {
+            self.state.metrics.counters.probes_lost += 1;
+            self.schedule_probe_retry(probe);
+        }
+        for task in killed {
+            self.state.metrics.counters.tasks_killed += 1;
+            let job_idx = task.job.0 as usize;
+            if self.state.jobs[job_idx].is_failed() {
+                // Failed jobs' tasks are cancelled work; nothing to retry.
+                continue;
+            }
+            let bound_duration_us = if task.bound {
+                // Early-bound payload travels with its retry probe.
+                Some(task.raw_duration_us)
+            } else {
+                // Late-bound launch is undone: the duration returns to the
+                // job's pending pool and a fresh speculative probe will
+                // reclaim it (or be discarded as redundant if a sibling
+                // probe got there first).
+                self.state.jobs[job_idx].requeue_task(task.raw_duration_us);
+                self.state.metrics.counters.requeued_tasks += 1;
+                None
+            };
+            let retry = Probe {
+                id: self.state.next_probe_id(),
+                job: task.job,
+                bound_duration_us,
+                slowdown: task.slowdown,
+                enqueued_at: self.state.now,
+                bypass_count: 0,
+                migrations: 0,
+                retries: 0,
+            };
+            self.schedule_probe_retry(retry);
+        }
+        let downtime = self.state.config.faults.downtime.as_micros();
+        let back_up = if downtime > 0 {
+            SimDuration(downtime / 2 + self.state.fault_rng.random_range(0..downtime))
+        } else {
+            SimDuration(1)
+        };
+        self.events
+            .schedule(self.state.now + back_up, Event::WorkerRecover(worker));
+        let mut ctx = SimCtx {
+            state: &mut self.state,
+            events: &mut self.events,
+        };
+        self.scheduler.on_worker_crash(worker, &mut ctx);
     }
 
     fn drain_touched(&mut self) {
@@ -330,7 +508,7 @@ impl Simulation {
     fn try_dispatch(&mut self, worker: WorkerId) {
         loop {
             let w = &self.state.workers[worker.index()];
-            if !w.has_free_slot() || w.queue_len() == 0 {
+            if !w.is_alive() || !w.has_free_slot() || w.queue_len() == 0 {
                 return;
             }
             let Some(idx) = self.scheduler.select_probe(worker, &self.state) else {
@@ -392,6 +570,8 @@ impl Simulation {
                     job: probe.job,
                     finish_at: finish,
                     duration_us,
+                    raw_duration_us,
+                    slowdown: probe.slowdown,
                     bound: probe.is_bound(),
                     seq,
                 },

@@ -21,6 +21,15 @@ pub enum Event {
     /// A scheduler-requested wakeup (heartbeats, delayed actions). The token
     /// is opaque to the engine.
     SchedulerWakeup(u64),
+    /// Fault injection: the worker crashes, killing its running tasks and
+    /// dropping its queued probes.
+    WorkerCrash(WorkerId),
+    /// Fault injection: a crashed worker comes back up, idle and empty.
+    WorkerRecover(WorkerId),
+    /// A probe that was lost, killed, or addressed to a dead worker comes
+    /// up for re-placement after its backoff; handled by
+    /// [`crate::Scheduler::on_probe_retry`].
+    ProbeRetry(Probe),
 }
 
 /// An event scheduled at a time, with a sequence number breaking ties

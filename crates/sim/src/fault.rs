@@ -1,0 +1,187 @@
+//! Deterministic fault injection: worker churn and message-level faults.
+//!
+//! A [`FaultPlan`] describes the perturbations a run is subjected to:
+//!
+//! * **Worker crashes**: strikes arrive with a jittered mean interval; the
+//!   victim loses its running tasks and queued probes and stays down for a
+//!   jittered mean downtime before recovering. Crash = idle-supply removal,
+//!   recovery = idle-supply addition, so the incremental
+//!   [`crate::CrvLedger`] stays exact through churn.
+//! * **Probe loss**: every probe transfer (initial send, steal, migration,
+//!   retry) is dropped with probability [`FaultPlan::probe_loss`].
+//! * **Probe delay**: a transfer that survives may pay an extra uniform
+//!   delay on top of the one-way network delay.
+//! * **Heartbeat jitter**: scheduler wakeups slip by a uniform amount,
+//!   modelling control-plane messaging variance.
+//!
+//! Lost or killed work is never abandoned: the engine converts every
+//! casualty into an [`crate::Event::ProbeRetry`] with capped exponential
+//! backoff ([`FaultPlan::retry_delay`]), and the
+//! [`crate::Scheduler::on_probe_retry`] hook re-places it.
+//!
+//! All fault randomness is drawn from a dedicated RNG stream seeded from
+//! the simulation seed, and every draw is gated on the relevant knob being
+//! enabled — with [`FaultPlan::none`] the engine performs no draws and
+//! schedules no extra events, so a fault-free run is byte-identical to one
+//! built before this subsystem existed.
+
+use crate::time::SimDuration;
+
+/// The fault profile of one simulation run (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Mean time between worker-crash strikes (each strike is jittered
+    /// uniformly in `[interval/2, 3·interval/2)` and picks a uniform random
+    /// victim). Zero disables crashes.
+    pub crash_interval: SimDuration,
+    /// Mean downtime of a crashed worker before it recovers (jittered like
+    /// the strike interval).
+    pub downtime: SimDuration,
+    /// Probability that any probe transfer is lost in flight.
+    pub probe_loss: f64,
+    /// Probability that a surviving probe transfer is delayed.
+    pub probe_delay_prob: f64,
+    /// Maximum extra delivery delay of a delayed probe (uniform in
+    /// `[0, max)`).
+    pub probe_delay_max: SimDuration,
+    /// Maximum extra slip of scheduler wakeups (uniform in `[0, max)`).
+    /// Zero disables jitter.
+    pub heartbeat_jitter: SimDuration,
+    /// Base retry timeout: a lost probe is re-placed after
+    /// `retry_timeout · 2^min(retries, max_backoff_exponent)`.
+    pub retry_timeout: SimDuration,
+    /// Cap on the backoff exponent.
+    pub max_backoff_exponent: u32,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: no crashes, no loss, no delay, no jitter.
+    /// Costs nothing — the engine draws no fault randomness and schedules
+    /// no fault events.
+    pub fn none() -> Self {
+        FaultPlan {
+            crash_interval: SimDuration::ZERO,
+            downtime: SimDuration::ZERO,
+            probe_loss: 0.0,
+            probe_delay_prob: 0.0,
+            probe_delay_max: SimDuration::ZERO,
+            heartbeat_jitter: SimDuration::ZERO,
+            retry_timeout: SimDuration::from_secs(1),
+            max_backoff_exponent: 5,
+        }
+    }
+
+    /// The reference chaos profile used by the test battery: one crash
+    /// strike per simulated minute (≈1 % of a 100-worker cluster crashing
+    /// per minute) with 30 s mean downtime, 0.5 % probe loss, 1 % of probes
+    /// delayed up to 5 ms, and 100 ms heartbeat jitter.
+    pub fn reference() -> Self {
+        FaultPlan {
+            crash_interval: SimDuration::from_secs(60),
+            downtime: SimDuration::from_secs(30),
+            probe_loss: 0.005,
+            probe_delay_prob: 0.01,
+            probe_delay_max: SimDuration::from_millis(5),
+            heartbeat_jitter: SimDuration::from_millis(100),
+            retry_timeout: SimDuration::from_secs(1),
+            max_backoff_exponent: 5,
+        }
+    }
+
+    /// An aggressive churn profile: a strike every 20 s with 60 s mean
+    /// downtime, 2 % probe loss, 5 % of probes delayed up to 20 ms, and
+    /// 500 ms heartbeat jitter.
+    pub fn heavy() -> Self {
+        FaultPlan {
+            crash_interval: SimDuration::from_secs(20),
+            downtime: SimDuration::from_secs(60),
+            probe_loss: 0.02,
+            probe_delay_prob: 0.05,
+            probe_delay_max: SimDuration::from_millis(20),
+            heartbeat_jitter: SimDuration::from_millis(500),
+            retry_timeout: SimDuration::from_millis(500),
+            max_backoff_exponent: 6,
+        }
+    }
+
+    /// Looks up a named profile (`none`, `reference`, `heavy`) — the
+    /// spelling accepted by the experiment binaries' `--faults` flag.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "none" => Some(FaultPlan::none()),
+            "reference" => Some(FaultPlan::reference()),
+            "heavy" => Some(FaultPlan::heavy()),
+            _ => None,
+        }
+    }
+
+    /// Whether any fault mechanism is enabled.
+    pub fn is_active(&self) -> bool {
+        self.crash_interval.as_micros() > 0
+            || self.probe_loss > 0.0
+            || self.probe_delay_prob > 0.0
+            || self.heartbeat_jitter.as_micros() > 0
+    }
+
+    /// Whether worker crashes are enabled.
+    pub fn crashes_enabled(&self) -> bool {
+        self.crash_interval.as_micros() > 0
+    }
+
+    /// The retry delay for a probe that has already been retried `retries`
+    /// times: capped exponential backoff over [`FaultPlan::retry_timeout`].
+    pub fn retry_delay(&self, retries: u8) -> SimDuration {
+        let base = self.retry_timeout.as_micros().max(1);
+        let exp = u32::from(retries).min(self.max_backoff_exponent);
+        SimDuration(base.saturating_mul(1u64 << exp.min(63)))
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_default() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(!FaultPlan::none().crashes_enabled());
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+    }
+
+    #[test]
+    fn profiles_are_active() {
+        assert!(FaultPlan::reference().is_active());
+        assert!(FaultPlan::reference().crashes_enabled());
+        assert!(FaultPlan::heavy().is_active());
+        assert!(FaultPlan::heavy().probe_loss > FaultPlan::reference().probe_loss);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_then_caps() {
+        let plan = FaultPlan::reference();
+        let base = plan.retry_timeout.as_micros();
+        assert_eq!(plan.retry_delay(0).as_micros(), base);
+        assert_eq!(plan.retry_delay(1).as_micros(), base * 2);
+        assert_eq!(plan.retry_delay(3).as_micros(), base * 8);
+        // Capped at 2^max_backoff_exponent.
+        let cap = base * (1 << plan.max_backoff_exponent);
+        assert_eq!(plan.retry_delay(5).as_micros(), cap);
+        assert_eq!(plan.retry_delay(200).as_micros(), cap);
+    }
+
+    #[test]
+    fn single_mechanism_plans_are_active() {
+        let mut plan = FaultPlan::none();
+        plan.probe_loss = 0.1;
+        assert!(plan.is_active());
+        let mut plan = FaultPlan::none();
+        plan.heartbeat_jitter = SimDuration::from_millis(1);
+        assert!(plan.is_active());
+    }
+}

@@ -31,6 +31,9 @@ pub struct JobState {
     next_task: usize,
     completed: usize,
     failed: bool,
+    /// Durations of tasks whose launch was undone by a worker crash; they
+    /// are re-launched (LIFO) before any not-yet-launched task.
+    requeued_us: Vec<u64>,
     /// Sum of queue waits of launched tasks, microseconds.
     pub wait_sum_us: u64,
     /// Number of launched tasks.
@@ -63,6 +66,7 @@ impl JobState {
             next_task: 0,
             completed: 0,
             failed: false,
+            requeued_us: Vec::new(),
             wait_sum_us: 0,
             launched: 0,
             finished_at: None,
@@ -76,15 +80,15 @@ impl JobState {
 
     /// Whether unlaunched tasks remain (and the job was not failed).
     pub fn has_pending(&self) -> bool {
-        !self.failed && self.next_task < self.durations_us.len()
+        !self.failed && (!self.requeued_us.is_empty() || self.next_task < self.durations_us.len())
     }
 
-    /// Number of tasks not yet launched.
+    /// Number of tasks not yet launched (including crash-requeued ones).
     pub fn pending_tasks(&self) -> usize {
         if self.failed {
             0
         } else {
-            self.durations_us.len() - self.next_task
+            self.durations_us.len() - self.next_task + self.requeued_us.len()
         }
     }
 
@@ -101,10 +105,24 @@ impl JobState {
     /// Panics if no task is pending.
     pub fn take_task(&mut self) -> u64 {
         assert!(self.has_pending(), "no pending task to take");
-        let d = self.durations_us[self.next_task];
-        self.next_task += 1;
+        let d = if let Some(d) = self.requeued_us.pop() {
+            d
+        } else {
+            let d = self.durations_us[self.next_task];
+            self.next_task += 1;
+            d
+        };
         self.launched += 1;
         d
+    }
+
+    /// Returns a killed task's duration to the pending pool after a worker
+    /// crash undid its launch. The matching launch is also undone so wait
+    /// and completion accounting stay conserved.
+    pub fn requeue_task(&mut self, raw_duration_us: u64) {
+        debug_assert!(self.launched > self.completed, "requeue without launch");
+        self.launched -= 1;
+        self.requeued_us.push(raw_duration_us);
     }
 
     /// Records one task completion at `now`; returns true if this completed
@@ -215,6 +233,25 @@ mod tests {
         let _ = j.take_task();
         j.wait_sum_us += 300;
         assert_eq!(j.mean_wait().unwrap().as_micros(), 200);
+    }
+
+    #[test]
+    fn requeue_returns_task_to_pending_pool() {
+        let mut j = job();
+        let d0 = j.take_task();
+        let _ = j.take_task();
+        assert!(!j.has_pending());
+        // A crash kills the first task mid-run: its duration comes back.
+        j.requeue_task(d0);
+        assert!(j.has_pending());
+        assert_eq!(j.pending_tasks(), 1);
+        assert_eq!(j.launched, 1);
+        // Relaunch runs the requeued duration, not a fresh trace slot.
+        assert_eq!(j.take_task(), d0);
+        assert!(!j.has_pending());
+        assert!(!j.complete_task(SimTime(1)));
+        assert!(j.complete_task(SimTime(2)));
+        assert!(j.is_complete());
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod context;
 pub mod crvledger;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod jobstate;
 pub mod metrics;
 pub mod probe;
@@ -76,6 +77,7 @@ pub use context::SimCtx;
 pub use crvledger::CrvLedger;
 pub use engine::{SimState, Simulation};
 pub use event::{Event, EventQueue};
+pub use fault::FaultPlan;
 pub use jobstate::JobState;
 pub use metrics::{Counters, JobOutcome, SimMetrics, SimResult};
 pub use probe::{Probe, ProbeId};

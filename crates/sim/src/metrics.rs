@@ -43,6 +43,21 @@ pub struct Counters {
     pub sbp_continuations: u64,
     /// Promotions suppressed by the starvation (slack) bound.
     pub starvation_suppressions: u64,
+    /// Fault injection: worker crash strikes delivered.
+    pub worker_crashes: u64,
+    /// Fault injection: crashed workers that came back up.
+    pub worker_recoveries: u64,
+    /// Fault injection: running tasks killed by crashes.
+    pub tasks_killed: u64,
+    /// Fault injection: probes lost in flight or addressed to dead workers.
+    pub probes_lost: u64,
+    /// Fault injection: probe re-placements performed after loss/kill.
+    pub probe_retries: u64,
+    /// Fault injection: probe deliveries that paid an extra delay.
+    pub probes_delayed: u64,
+    /// Fault injection: task launches undone by a crash and returned to
+    /// their job's pending pool.
+    pub requeued_tasks: u64,
 }
 
 /// Metrics accumulated during a run.
@@ -165,6 +180,10 @@ pub struct SimResult {
     /// Jobs that never completed (should be 0 for a well-formed run unless
     /// admission control failed them).
     pub incomplete_jobs: usize,
+    /// Tasks of non-failed jobs that never completed — the liveness
+    /// headline: must be 0 even under fault injection (every lost or
+    /// killed task is retried until it lands).
+    pub lost_tasks: u64,
     /// Per-job outcomes, in trace order.
     pub job_outcomes: Vec<JobOutcome>,
 }
@@ -194,6 +213,66 @@ impl SimResult {
     /// Percentile of per-job queuing time for a whole class, seconds.
     pub fn class_queuing_percentile(&self, class: JobClass, p: f64) -> f64 {
         self.metrics.job_queuing.by_class(class).percentile(p)
+    }
+
+    /// FNV-1a fingerprint over the run's deterministic content: makespan,
+    /// busy time, every counter, `lost_tasks`, and all per-job outcomes
+    /// (bit-exact floats). Two runs with the same fingerprint produced
+    /// byte-identical results — the regression and determinism tests
+    /// compare digests.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(self.scheduler.as_bytes());
+        eat(&(self.workers as u64).to_le_bytes());
+        eat(&self.metrics.makespan.as_micros().to_le_bytes());
+        eat(&self.metrics.busy_us.to_le_bytes());
+        let c = &self.counters;
+        for v in [
+            c.probes_sent,
+            c.redundant_probes,
+            c.bound_placements,
+            c.tasks_completed,
+            c.jobs_completed,
+            c.jobs_failed,
+            c.relaxed_tasks,
+            c.crv_reordered_tasks,
+            c.crv_insertions,
+            c.srpt_reordered_tasks,
+            c.stolen_probes,
+            c.migrated_probes,
+            c.sbp_continuations,
+            c.starvation_suppressions,
+            c.worker_crashes,
+            c.worker_recoveries,
+            c.tasks_killed,
+            c.probes_lost,
+            c.probe_retries,
+            c.probes_delayed,
+            c.requeued_tasks,
+        ] {
+            eat(&v.to_le_bytes());
+        }
+        eat(&(self.incomplete_jobs as u64).to_le_bytes());
+        eat(&self.lost_tasks.to_le_bytes());
+        for o in &self.job_outcomes {
+            eat(&o.job.0.to_le_bytes());
+            eat(&[
+                u8::from(o.short),
+                u8::from(o.constrained),
+                u8::from(o.failed),
+            ]);
+            eat(&o.user.to_le_bytes());
+            eat(&o.response_s.unwrap_or(-1.0).to_bits().to_le_bytes());
+            eat(&o.mean_wait_s.unwrap_or(-1.0).to_bits().to_le_bytes());
+            eat(&o.ideal_s.to_bits().to_le_bytes());
+        }
+        h
     }
 }
 
@@ -285,9 +364,40 @@ mod tests {
             counters: m.counters,
             metrics: m,
             incomplete_jobs: 0,
+            lost_tasks: 0,
             job_outcomes: Vec::new(),
         };
         assert!((r.utilization() - 0.5).abs() < 1e-12);
         assert!(!r.to_string().is_empty());
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let m = SimMetrics::new(SimDuration::from_secs(60));
+        let mut r = SimResult {
+            scheduler: "test".into(),
+            workers: 4,
+            counters: m.counters,
+            metrics: m,
+            incomplete_jobs: 0,
+            lost_tasks: 0,
+            job_outcomes: vec![JobOutcome {
+                job: JobId(7),
+                short: true,
+                user: 1,
+                constrained: false,
+                response_s: Some(1.25),
+                mean_wait_s: None,
+                ideal_s: 1.0,
+                failed: false,
+            }],
+        };
+        let d = r.digest();
+        assert_eq!(d, r.digest(), "digest must be deterministic");
+        r.counters.probes_lost += 1;
+        assert_ne!(d, r.digest(), "fault counters must be covered");
+        r.counters.probes_lost -= 1;
+        r.job_outcomes[0].response_s = Some(1.250000001);
+        assert_ne!(d, r.digest(), "outcomes must be covered bit-exactly");
     }
 }

@@ -45,6 +45,11 @@ pub struct Probe {
     /// (Phoenix's dynamic probe rescheduling); bounded to avoid
     /// oscillation.
     pub migrations: u8,
+    /// Number of fault-recovery retries this probe has been through (lost
+    /// in flight, addressed to a dead worker, or killed by a crash); drives
+    /// the capped exponential backoff of
+    /// [`crate::FaultPlan::retry_delay`].
+    pub retries: u8,
 }
 
 impl Probe {
@@ -84,6 +89,7 @@ mod tests {
             enqueued_at: SimTime::ZERO,
             bypass_count: 0,
             migrations: 0,
+            retries: 0,
         };
         assert!(!p.is_bound());
         p.bound_duration_us = Some(5);
@@ -100,6 +106,7 @@ mod tests {
             enqueued_at: SimTime::ZERO,
             bypass_count: 0,
             migrations: 0,
+            retries: 0,
         };
         assert!(p.to_string().contains("bound"));
     }

@@ -65,4 +65,26 @@ pub trait Scheduler {
     fn on_wakeup(&mut self, token: u64, ctx: &mut SimCtx<'_>) {
         let _ = (token, ctx);
     }
+
+    /// A probe that was lost in flight, addressed to a dead worker, or
+    /// whose task was killed by a crash comes up for re-placement (its
+    /// backoff has elapsed). The default re-samples a feasible worker and
+    /// resends ([`SimCtx::default_probe_retry`]); override to apply
+    /// policy-specific placement to retries.
+    fn on_probe_retry(&mut self, probe: crate::probe::Probe, ctx: &mut SimCtx<'_>) {
+        ctx.default_probe_retry(probe);
+    }
+
+    /// Fault injection: `worker` crashed. The engine has already drained
+    /// its queue and killed its running tasks (scheduling retries for
+    /// both); override to drop policy-side state tied to the worker
+    /// (load caches, stickiness, ...).
+    fn on_worker_crash(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        let _ = (worker, ctx);
+    }
+
+    /// Fault injection: `worker` recovered (idle, empty queue).
+    fn on_worker_recover(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        let _ = (worker, ctx);
+    }
 }

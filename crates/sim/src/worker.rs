@@ -35,6 +35,11 @@ pub struct RunningTask {
     /// Effective execution time (after any soft-relaxation slowdown),
     /// microseconds.
     pub duration_us: u64,
+    /// True task duration before slowdown/clock scaling, microseconds —
+    /// what a fault-recovery retry must re-run elsewhere.
+    pub raw_duration_us: u64,
+    /// Soft-relaxation slowdown the placement carried (1.0 when none).
+    pub slowdown: f64,
     /// Whether the task came from an early-bound (centralized) placement.
     pub bound: bool,
     /// Engine-assigned identifier pairing this task with its completion
@@ -59,6 +64,9 @@ pub struct Worker {
     /// Sum of bound task durations currently queued, microseconds (an
     /// exact component of estimated queue work).
     queued_bound_work_us: u64,
+    /// Whether the worker is up. Crashed workers accept no probes and run
+    /// no tasks until they recover.
+    alive: bool,
 }
 
 impl Default for Worker {
@@ -86,7 +94,40 @@ impl Worker {
             queue: Vec::new(),
             busy_us: 0,
             queued_bound_work_us: 0,
+            alive: true,
         }
+    }
+
+    /// Whether the worker is up.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Marks the worker up or down. Draining the casualties of a crash is
+    /// the engine's job ([`crate::SimState::crash_worker`]); this is just
+    /// the flag.
+    pub fn set_alive(&mut self, alive: bool) {
+        self.alive = alive;
+    }
+
+    /// Whether a running task carries engine sequence `seq` (used to
+    /// tombstone completion events of tasks killed by a crash).
+    pub fn has_running_seq(&self, seq: u64) -> bool {
+        self.running.iter().any(|t| t.seq == seq)
+    }
+
+    /// Drains every running task (a crash kills them mid-flight), returning
+    /// the tasks and the total not-yet-executed microseconds, which are
+    /// subtracted from [`Worker::busy_us`] (the time was credited in full
+    /// at dispatch but never actually runs).
+    pub fn take_running_tasks(&mut self, now: SimTime) -> (Vec<RunningTask>, u64) {
+        let killed: Vec<RunningTask> = self.running.drain(..).collect();
+        let unspent: u64 = killed
+            .iter()
+            .map(|t| t.finish_at.since(now).as_micros())
+            .sum();
+        self.busy_us = self.busy_us.saturating_sub(unspent);
+        (killed, unspent)
     }
 
     /// Number of execution slots.
@@ -289,6 +330,7 @@ mod tests {
             enqueued_at: SimTime::ZERO,
             bypass_count: 0,
             migrations: 0,
+            retries: 0,
         }
     }
 
@@ -301,6 +343,8 @@ mod tests {
                 job: JobId(1),
                 finish_at: SimTime(100),
                 duration_us: 60,
+                raw_duration_us: 60,
+                slowdown: 1.0,
                 bound: false,
                 seq: 0,
             },
@@ -321,6 +365,8 @@ mod tests {
             job: JobId(1),
             finish_at: SimTime(1),
             duration_us: 1,
+            raw_duration_us: 1,
+            slowdown: 1.0,
             bound: false,
             seq: 0,
         };
@@ -392,6 +438,44 @@ mod tests {
         w.enqueue(probe(0, None));
         w.enqueue(probe(1, None));
         let _ = w.promote(0, 1);
+    }
+
+    #[test]
+    fn take_running_tasks_refunds_unspent_busy_time() {
+        let mut w = Worker::with_slots(2);
+        for seq in 0..2u64 {
+            w.start_task(
+                RunningTask {
+                    job: JobId(seq as u32),
+                    finish_at: SimTime(100),
+                    duration_us: 100,
+                    raw_duration_us: 100,
+                    slowdown: 1.0,
+                    bound: seq == 0,
+                    seq,
+                },
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(w.busy_us(), 200);
+        assert!(w.has_running_seq(1));
+        // Crash at t=60: each task has 40 µs it will never execute.
+        let (killed, unspent) = w.take_running_tasks(SimTime(60));
+        assert_eq!(killed.len(), 2);
+        assert_eq!(unspent, 80);
+        assert_eq!(w.busy_us(), 120);
+        assert!(w.is_idle());
+        assert!(!w.has_running_seq(1));
+    }
+
+    #[test]
+    fn alive_flag_round_trips() {
+        let mut w = Worker::new();
+        assert!(w.is_alive());
+        w.set_alive(false);
+        assert!(!w.is_alive());
+        w.set_alive(true);
+        assert!(w.is_alive());
     }
 
     #[test]

@@ -99,3 +99,121 @@ fn reordering_through_queue_mut_passes_the_audit() {
     let result = simulation(Box::new(ReorderingScheduler)).run();
     assert_eq!(result.incomplete_jobs, 0);
 }
+
+fn three_task_job_trace() -> Trace {
+    Trace::new(
+        "t",
+        vec![Job {
+            id: JobId(0),
+            arrival_s: 0.0,
+            task_durations_s: vec![1.0; 3],
+            estimated_task_duration_s: 1.0,
+            constraints: Default::default(),
+            short: true,
+            user: 0,
+        }],
+    )
+}
+
+/// Binds two probes to worker 0 and one to worker 1, then crashes worker 0
+/// once both of its probes have arrived and re-binds the casualties onto
+/// worker 1. The crash drains worker 0's queue through the ledger-aware
+/// `steal_probes_if` path — if that path double-counted
+/// `queued_bound_work_us`, the engine's debug audit (and the explicit
+/// recomputation below) would catch the desync.
+#[derive(Debug)]
+struct CrashingScheduler {
+    w0_enqueues: usize,
+}
+
+impl Scheduler for CrashingScheduler {
+    fn name(&self) -> &str {
+        "crashing"
+    }
+
+    fn on_job_arrival(&mut self, job: JobId, ctx: &mut SimCtx<'_>) {
+        for target in [WorkerId(0), WorkerId(0), WorkerId(1)] {
+            let bound = ctx.job_mut(job).take_task();
+            let probe = ctx.new_bound_probe(job, bound);
+            ctx.send_probe(target, probe);
+        }
+    }
+
+    fn on_probe_enqueued(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        if worker != WorkerId(0) {
+            return;
+        }
+        self.w0_enqueues += 1;
+        if self.w0_enqueues < 2 {
+            return;
+        }
+        // Both probes reached worker 0 (one may already be running).
+        let (killed, dropped) = ctx.state_mut().crash_worker(WorkerId(0));
+        assert_eq!(killed.len() + dropped.len(), 2, "both tasks are casualties");
+        let w0 = ctx.worker(WorkerId(0));
+        assert_eq!(w0.queue_len(), 0, "crash must drain the queue");
+        assert_eq!(
+            w0.queued_bound_work_us(),
+            0,
+            "drained queue must zero the bound-work aggregate, not double-drop it"
+        );
+        // Fail the casualties over to worker 1, re-bound.
+        for task in killed {
+            let probe = ctx.new_bound_probe(task.job, task.raw_duration_us);
+            ctx.send_probe(WorkerId(1), probe);
+        }
+        for probe in dropped {
+            ctx.send_probe(WorkerId(1), probe);
+        }
+        // Worker 1's aggregate must stay exact through all of the above.
+        let w1 = ctx.worker(WorkerId(1));
+        let recomputed: u64 = w1.queue().iter().filter_map(|p| p.bound_duration_us).sum();
+        assert_eq!(w1.queued_bound_work_us(), recomputed);
+    }
+}
+
+#[test]
+fn crash_drain_keeps_bound_work_aggregate_exact() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let cluster = MachinePopulation::generate(PopulationProfile::google_like(), 4, &mut rng);
+    let result = Simulation::new(
+        SimConfig::default(),
+        FeasibilityIndex::new(cluster.into_machines()),
+        &three_task_job_trace(),
+        Box::new(CrashingScheduler { w0_enqueues: 0 }),
+        3,
+    )
+    .run();
+    assert_eq!(result.incomplete_jobs, 0, "failed-over tasks must complete");
+    assert_eq!(result.lost_tasks, 0);
+    assert_eq!(result.counters.tasks_completed, 3);
+}
+
+/// Crashes worker 0 while idle, recovers it, and reuses it for a bound
+/// placement: the recovered worker's accounting must be indistinguishable
+/// from a fresh one.
+#[derive(Debug)]
+struct RecycleScheduler;
+
+impl Scheduler for RecycleScheduler {
+    fn name(&self) -> &str {
+        "recycle"
+    }
+
+    fn on_job_arrival(&mut self, job: JobId, ctx: &mut SimCtx<'_>) {
+        let (killed, dropped) = ctx.state_mut().crash_worker(WorkerId(0));
+        assert!(killed.is_empty() && dropped.is_empty(), "worker was idle");
+        ctx.state_mut().recover_worker(WorkerId(0));
+        let bound = ctx.job_mut(job).take_task();
+        let probe = ctx.new_bound_probe(job, bound);
+        ctx.send_probe(WorkerId(0), probe);
+    }
+}
+
+#[test]
+fn recovered_worker_passes_the_audit_on_reuse() {
+    let result = simulation(Box::new(RecycleScheduler)).run();
+    assert_eq!(result.incomplete_jobs, 0);
+    assert_eq!(result.lost_tasks, 0);
+    assert_eq!(result.counters.bound_placements, 1);
+}

@@ -37,6 +37,7 @@ fn probe(id: u64, bound: Option<u64>) -> Probe {
         enqueued_at: SimTime::ZERO,
         bypass_count: 0,
         migrations: 0,
+        retries: 0,
     }
 }
 

@@ -75,6 +75,6 @@ pub mod prelude {
     pub use phoenix_schedulers::{
         BaselineConfig, ChoosyC, EagleC, HawkC, MercuryC, MonolithicC, SparrowC, YaqD,
     };
-    pub use phoenix_sim::{Scheduler, SimConfig, SimResult, Simulation};
+    pub use phoenix_sim::{FaultPlan, Scheduler, SimConfig, SimResult, Simulation};
     pub use phoenix_traces::{Job, JobId, Trace, TraceGenerator, TraceProfile, TraceStats};
 }
