@@ -113,6 +113,44 @@ impl Default for Scale {
     }
 }
 
+/// Observability flags (`--trace-out <path>`, `--profile`) for the bench
+/// binaries. Parsed separately from [`Scale`] so the scale presets stay
+/// `Copy`-able plain data.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObserveArgs {
+    /// Write a JSONL event trace of the run to this path.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Print the wall-clock hot-path profile table after the run.
+    pub profile: bool,
+}
+
+impl ObserveArgs {
+    /// Parses `--trace-out <path>` and `--profile` from the process
+    /// arguments.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses the flags from an explicit argument stream (testable).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let args: Vec<String> = args.collect();
+        let mut observe = ObserveArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trace-out" if i + 1 < args.len() => {
+                    observe.trace_out = Some(std::path::PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--profile" => observe.profile = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        observe
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +166,28 @@ mod tests {
     fn seed_list_has_requested_length() {
         assert_eq!(Scale::full().seed_list().len(), 5);
         assert_eq!(Scale::smoke().seed_list(), vec![1]);
+    }
+
+    #[test]
+    fn observe_args_parse_flags() {
+        let o = ObserveArgs::parse(
+            [
+                "--trace-out",
+                "/tmp/t.jsonl",
+                "--profile",
+                "--scale",
+                "smoke",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(
+            o.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        assert!(o.profile);
+        let none = ObserveArgs::parse(["--scale", "quick"].iter().map(|s| s.to_string()));
+        assert_eq!(none, ObserveArgs::default());
     }
 
     #[test]

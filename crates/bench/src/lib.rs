@@ -26,7 +26,7 @@ pub mod report;
 pub mod runner;
 pub mod summary;
 
-pub use args::Scale;
+pub use args::{ObserveArgs, Scale};
 pub use report::{print_normalized_sweep, sweep, SweepPoint, SWEEP_FACTORS};
 pub use runner::{run_many, run_seeds, run_spec, RunSpec, SchedulerKind};
 pub use summary::{average_summaries, summarize, PercentileTriple, Summary};

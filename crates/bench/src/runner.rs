@@ -8,7 +8,7 @@ use phoenix_core::{Phoenix, PhoenixConfig};
 use phoenix_schedulers::{
     BaselineConfig, ChoosyC, EagleC, HawkC, MercuryC, MonolithicC, SparrowC, YaqD,
 };
-use phoenix_sim::{FaultPlan, Scheduler, SimConfig, SimResult, Simulation};
+use phoenix_sim::{FaultPlan, JsonlSink, Scheduler, SimConfig, SimResult, Simulation};
 use phoenix_traces::{TraceGenerator, TraceProfile};
 
 /// The schedulers the paper evaluates.
@@ -52,6 +52,24 @@ impl SchedulerKind {
             SchedulerKind::PhoenixNoCrv => "phoenix-no-crv",
             SchedulerKind::PhoenixNoAdmission => "phoenix-no-admission",
         }
+    }
+
+    /// Looks a scheduler kind up by its [`SchedulerKind::name`].
+    pub fn by_name(name: &str) -> Option<Self> {
+        [
+            SchedulerKind::Phoenix,
+            SchedulerKind::EagleC,
+            SchedulerKind::HawkC,
+            SchedulerKind::SparrowC,
+            SchedulerKind::YaqD,
+            SchedulerKind::MercuryC,
+            SchedulerKind::MonolithicC,
+            SchedulerKind::ChoosyC,
+            SchedulerKind::PhoenixNoCrv,
+            SchedulerKind::PhoenixNoAdmission,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
     }
 
     /// Instantiates the scheduler for a trace with the given short/long
@@ -114,6 +132,12 @@ pub struct RunSpec {
     /// Fault profile injected into the run ([`FaultPlan::none`] for the
     /// paper's fault-free experiments).
     pub faults: FaultPlan,
+    /// Write a JSONL event trace of the run to this path (`--trace-out`).
+    /// Tracing is observational only: the run's digest is unchanged.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Profile engine hot paths, returning the wall-clock table in
+    /// [`SimResult::profile`] (`--profile`).
+    pub profile_hot_paths: bool,
 }
 
 impl RunSpec {
@@ -131,6 +155,8 @@ impl RunSpec {
             seed: 1,
             record_task_waits: true,
             faults: FaultPlan::none(),
+            trace_out: None,
+            profile_hot_paths: false,
         }
     }
 
@@ -158,6 +184,18 @@ impl RunSpec {
         self.faults = faults;
         self
     }
+
+    /// Returns a copy writing a JSONL event trace to `path`.
+    pub fn with_trace_out(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.trace_out = Some(path.into());
+        self
+    }
+
+    /// Returns a copy with hot-path profiling enabled.
+    pub fn with_profiling(mut self) -> Self {
+        self.profile_hot_paths = true;
+        self
+    }
 }
 
 /// Executes one run: generates the cluster and trace, simulates, returns
@@ -177,14 +215,22 @@ pub fn run_spec(spec: &RunSpec) -> SimResult {
         faults: spec.faults,
         ..SimConfig::default()
     };
-    Simulation::new(
+    let mut sim = Simulation::new(
         config,
         FeasibilityIndex::new(cluster.into_machines()),
         &trace,
         spec.scheduler.build(cutoff),
         spec.seed,
-    )
-    .run()
+    );
+    if let Some(path) = &spec.trace_out {
+        let sink = JsonlSink::create(path)
+            .unwrap_or_else(|e| panic!("cannot create trace output {}: {e}", path.display()));
+        sim.set_trace_sink(Box::new(sink));
+    }
+    if spec.profile_hot_paths {
+        sim.enable_profiling();
+    }
+    sim.run()
 }
 
 /// Executes a batch of runs in parallel (bounded by available CPU cores),

@@ -8,7 +8,7 @@
 //! bounds how many times any probe can be bypassed.
 
 use phoenix_constraints::{Crv, CrvDimension};
-use phoenix_sim::{SimState, WorkerId};
+use phoenix_sim::{SimState, TraceRecord, WorkerId};
 
 /// Whether a probe's job demands the given CRV dimension.
 fn demands_dimension(state: &SimState, probe: &phoenix_sim::Probe, dim: CrvDimension) -> bool {
@@ -72,8 +72,21 @@ pub fn crv_reorder_queue(
             insert_pos = target + 1;
         } else {
             state.metrics.counters.starvation_suppressions += 1;
+            let at_us = state.now.as_micros();
+            state.tracer_mut().emit(|| TraceRecord::Suppression {
+                at_us,
+                worker: worker.0,
+            });
             insert_pos = i + 1;
         }
+    }
+    if promoted > 0 {
+        let at_us = state.now.as_micros();
+        state.tracer_mut().emit(|| TraceRecord::Reorder {
+            at_us,
+            worker: worker.0,
+            promoted: promoted as u32,
+        });
     }
     promoted
 }
@@ -126,11 +139,21 @@ pub fn crv_insert_tail(
         }
     }
     let moved = state.workers[worker.index()].promote(tail, to);
+    let at_us = state.now.as_micros();
     if moved > 0 {
         state.metrics.counters.crv_insertions += 1;
+        state.tracer_mut().emit(|| TraceRecord::Insertion {
+            at_us,
+            worker: worker.0,
+            bypassed: moved as u32,
+        });
     }
     if suppressed {
         state.metrics.counters.starvation_suppressions += 1;
+        state.tracer_mut().emit(|| TraceRecord::Suppression {
+            at_us,
+            worker: worker.0,
+        });
     }
     moved
 }

@@ -13,10 +13,13 @@
 //! * probe placement negotiates soft constraints via
 //!   [`negotiate_targets`] when a job's full set is unsatisfiable.
 
+use phoenix_constraints::ConstraintKind;
 use phoenix_schedulers::{
     srpt::srpt_insert_tail, stealing::try_steal, CentralPlanner, LongBusyMap,
 };
-use phoenix_sim::{Scheduler, SimCtx, SimDuration, WorkerId};
+use phoenix_sim::{
+    KindCrv, ProfileScope, Scheduler, SimCtx, SimDuration, TraceRecord, WorkerId, WorkerLoad,
+};
 use phoenix_traces::JobId;
 
 use crate::admission::negotiate_targets;
@@ -260,6 +263,15 @@ impl Phoenix {
                     if let Some(mut probe) = ctx.remove_probe_by_id(worker, probe_id) {
                         probe.migrations += 1;
                         ctx.counters_mut().migrated_probes += 1;
+                        let at_us = ctx.now().as_micros();
+                        ctx.state_mut()
+                            .tracer_mut()
+                            .emit(|| TraceRecord::Migration {
+                                at_us,
+                                job: job.0,
+                                from: worker.0,
+                                to: best.0,
+                            });
                         ctx.transfer_probe(best, probe);
                         ctx.touch(worker);
                     }
@@ -268,12 +280,58 @@ impl Phoenix {
         }
     }
 
+    /// Builds the per-heartbeat monitor snapshot record: per-kind CRV
+    /// demand/supply, per-worker ρ and `E[W]`, and the queue-length
+    /// histogram. Only called when a trace sink is attached.
+    fn heartbeat_snapshot(&self, ctx: &SimCtx<'_>) -> TraceRecord {
+        let table = self.monitor.table();
+        let crv: Vec<KindCrv> = ConstraintKind::ALL
+            .iter()
+            .map(|&kind| KindCrv {
+                kind,
+                demand: table.demand(kind),
+                supply: table.supply(kind),
+            })
+            .filter(|c| c.demand > 0.0 || c.supply > 0.0)
+            .collect();
+        let workers: Vec<WorkerLoad> = (0..ctx.num_workers())
+            .filter_map(|i| {
+                let w = WorkerId(i as u32);
+                let rho = self.estimator.rho(w)?;
+                let expected_wait_us = self.estimator.expected_wait(w).map_or(0, |d| d.as_micros());
+                Some(WorkerLoad {
+                    worker: w.0,
+                    rho,
+                    expected_wait_us,
+                })
+            })
+            .collect();
+        let queue_histogram =
+            phoenix_sim::trace::queue_histogram(ctx.state().workers.iter().map(|w| w.queue_len()));
+        TraceRecord::Heartbeat {
+            at_us: ctx.now().as_micros(),
+            crv_mode: self.crv_mode,
+            crv,
+            workers,
+            queue_histogram,
+        }
+    }
+
     fn heartbeat(&mut self, ctx: &mut SimCtx<'_>) {
+        let started = ctx.state().profiler().begin();
         self.monitor
             .refresh_with(ctx.state(), self.config.incremental_monitor);
+        ctx.state_mut()
+            .profiler_mut()
+            .end(ProfileScope::HeartbeatRefresh, started);
         let (_, max_ratio) = self.monitor.max_ratio();
         self.crv_mode = self.config.crv_reordering && max_ratio > self.config.crv_threshold;
+        if ctx.state().tracer().enabled() {
+            let record = self.heartbeat_snapshot(ctx);
+            ctx.state_mut().tracer_mut().emit_record(record);
+        }
         if self.crv_mode {
+            let started = ctx.state().profiler().begin();
             let crv = self.monitor.crv();
             let qwait = self.config.qwait_threshold;
             let slack = self.config.baseline.slack_threshold;
@@ -291,6 +349,9 @@ impl Phoenix {
                 }
             }
             self.migrate_stuck_probes(ctx);
+            ctx.state_mut()
+                .profiler_mut()
+                .end(ProfileScope::Reorder, started);
         }
         // Keep the loop alive only while there is outstanding work.
         let busy = ctx

@@ -6,7 +6,7 @@
 //! itself satisfy (the "-C" constraint extension) and requeues them locally
 //! after a network delay.
 
-use phoenix_sim::{Probe, SimCtx, WorkerId};
+use phoenix_sim::{Probe, ProfileScope, SimCtx, TraceRecord, WorkerId};
 use rand::Rng;
 
 /// Attempts one steal for idle `thief`. Visits up to `attempts` random
@@ -26,6 +26,7 @@ pub fn try_steal(
     if n <= 1 {
         return 0;
     }
+    let started = ctx.state().profiler().begin();
     for _ in 0..attempts {
         let victim = WorkerId(ctx.rng().random_range(0..n) as u32);
         if victim == thief {
@@ -45,12 +46,25 @@ pub fn try_steal(
         if !stolen.is_empty() {
             let count = stolen.len();
             ctx.counters_mut().stolen_probes += count as u64;
+            let at_us = ctx.now().as_micros();
+            ctx.state_mut().tracer_mut().emit(|| TraceRecord::Steal {
+                at_us,
+                victim: victim.0,
+                thief: thief.0,
+                probes: count as u32,
+            });
             for probe in stolen {
                 ctx.transfer_probe(thief, probe);
             }
+            ctx.state_mut()
+                .profiler_mut()
+                .end(ProfileScope::Steal, started);
             return count;
         }
     }
+    ctx.state_mut()
+        .profiler_mut()
+        .end(ProfileScope::Steal, started);
     0
 }
 

@@ -127,13 +127,25 @@ impl<'a> SimCtx<'a> {
     }
 
     /// Sends a probe to a worker; it arrives after the one-way network
-    /// delay. Updates the probe/placement counters.
+    /// delay. Updates the probe/placement counters and traces the
+    /// placement choice (this is the single send path every scheduler
+    /// goes through).
     pub fn send_probe(&mut self, worker: WorkerId, probe: Probe) {
         if probe.is_bound() {
             self.state.metrics.counters.bound_placements += 1;
         } else {
             self.state.metrics.counters.probes_sent += 1;
         }
+        let at_us = self.state.now.as_micros();
+        self.state
+            .tracer
+            .emit(|| crate::trace::TraceRecord::Placement {
+                at_us,
+                job: probe.job.0,
+                worker: worker.0,
+                bound: probe.is_bound(),
+                slowdown: probe.slowdown,
+            });
         self.transfer_probe(worker, probe);
     }
 
@@ -197,6 +209,11 @@ impl<'a> SimCtx<'a> {
     pub fn fail_job(&mut self, job: JobId) {
         let j = &mut self.state.jobs[job.0 as usize];
         if !j.is_failed() {
+            if !j.is_complete() {
+                // The job leaves the outstanding set by failing rather
+                // than completing.
+                self.state.outstanding_jobs -= 1;
+            }
             j.fail();
             self.state.metrics.counters.jobs_failed += 1;
         }

@@ -13,8 +13,10 @@ use crate::event::{Event, EventQueue};
 use crate::jobstate::JobState;
 use crate::metrics::{SimMetrics, SimResult};
 use crate::probe::{Probe, ProbeId};
+use crate::profile::{ProfileScope, Profiler};
 use crate::scheduler::Scheduler;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceRecord, TraceSink, Tracer};
 use crate::worker::{RunningTask, Worker, WorkerId};
 
 /// Mutable simulation state shared between the engine and the scheduler
@@ -43,6 +45,15 @@ pub struct SimState {
     crv_ledger: CrvLedger,
     next_probe: u64,
     next_task_seq: u64,
+    /// Trace record dispatcher (no-op unless a sink is attached). Emits
+    /// nothing into the simulation: no RNG draws, no metric writes — a
+    /// traced run is byte-identical to an untraced one.
+    pub(crate) tracer: Tracer,
+    /// Wall-clock hot-path profiler (disabled by default).
+    pub(crate) profiler: Profiler,
+    /// Jobs neither complete nor failed, maintained incrementally so the
+    /// fault layer's continue-striking check is O(1) instead of O(jobs).
+    pub(crate) outstanding_jobs: usize,
 }
 
 /// XOR'd into the simulation seed to derive the fault RNG stream.
@@ -58,6 +69,27 @@ impl SimState {
     /// The incrementally maintained CRV demand/supply ledger.
     pub fn crv_ledger(&self) -> &CrvLedger {
         &self.crv_ledger
+    }
+
+    /// The trace dispatcher (read side: `enabled()` checks).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The trace dispatcher (emission side). Policy code emits via
+    /// `tracer_mut().emit(|| …)`; the closure never runs without a sink.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// The wall-clock profiler (read side: `begin()`).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The wall-clock profiler (accumulation side: `end(scope, started)`).
+    pub fn profiler_mut(&mut self) -> &mut Profiler {
+        &mut self.profiler
     }
 
     /// Appends `probe` to the tail of `worker`'s queue, keeping the CRV
@@ -231,7 +263,13 @@ impl Simulation {
             let victim = WorkerId(fault_rng.random_range(0..n_workers) as u32);
             events.schedule(SimTime::ZERO + at, Event::WorkerCrash(victim));
         }
-        let metrics = SimMetrics::new(config.timeseries_bucket);
+        let metrics = SimMetrics::new(config.timeseries_bucket, config.record_task_waits);
+        // Zero-task jobs are born complete, so the outstanding count is a
+        // filter, not `jobs.len()`.
+        let outstanding_jobs = jobs
+            .iter()
+            .filter(|j| !j.is_complete() && !j.is_failed())
+            .count();
         Simulation {
             state: SimState {
                 now: crate::time::SimTime::ZERO,
@@ -246,10 +284,26 @@ impl Simulation {
                 crv_ledger: CrvLedger::new(n_workers),
                 next_probe: 0,
                 next_task_seq: 0,
+                tracer: Tracer::disabled(),
+                profiler: Profiler::disabled(),
+                outstanding_jobs,
             },
             events,
             scheduler,
         }
+    }
+
+    /// Attaches a [`TraceSink`] receiving this run's [`TraceRecord`]s.
+    /// Tracing observes only — it draws no randomness and writes no
+    /// metrics, so the run's `digest()` is unchanged.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.state.tracer = Tracer::with_sink(sink);
+    }
+
+    /// Enables wall-clock profiling of the engine hot paths; the report is
+    /// returned in [`SimResult::profile`].
+    pub fn enable_profiling(&mut self) {
+        self.state.profiler = Profiler::enabled();
     }
 
     /// Read access to the state (tests and tools).
@@ -273,6 +327,7 @@ impl Simulation {
             self.handle(event);
             self.drain_touched();
         }
+        self.state.tracer.flush();
         let incomplete = self
             .state
             .jobs
@@ -304,11 +359,13 @@ impl Simulation {
         SimResult {
             scheduler: self.scheduler.name().to_string(),
             workers: self.state.workers.len(),
+            slots_per_worker: self.state.config.slots_per_worker.max(1),
             counters: self.state.metrics.counters,
             metrics: self.state.metrics,
             incomplete_jobs: incomplete,
             lost_tasks,
             job_outcomes,
+            profile: self.state.profiler.report(),
         }
     }
 
@@ -353,6 +410,11 @@ impl Simulation {
                     self.state.metrics.makespan = self.state.now;
                 }
                 if done {
+                    if !self.state.jobs[job_idx].is_failed() {
+                        // The job just left the outstanding set (a failed
+                        // job already left it when it was failed).
+                        self.state.outstanding_jobs -= 1;
+                    }
                     let snapshot = self.state.jobs[job_idx].clone();
                     self.state.metrics.record_job_completion(&snapshot);
                     let mut ctx = SimCtx {
@@ -387,6 +449,11 @@ impl Simulation {
             Event::WorkerRecover(worker) => {
                 self.state.recover_worker(worker);
                 self.state.metrics.counters.worker_recoveries += 1;
+                let at_us = self.state.now.as_micros();
+                self.state.tracer.emit(|| TraceRecord::Recover {
+                    at_us,
+                    worker: worker.0,
+                });
                 let mut ctx = SimCtx {
                     state: &mut self.state,
                     events: &mut self.events,
@@ -419,12 +486,18 @@ impl Simulation {
         if !self.state.config.faults.crashes_enabled() {
             return;
         }
-        if !self
-            .state
-            .jobs
-            .iter()
-            .any(|j| !j.is_complete() && !j.is_failed())
-        {
+        // Incremental counter instead of an O(jobs) rescan per strike; the
+        // oracle below keeps it honest in debug builds.
+        debug_assert_eq!(
+            self.state.outstanding_jobs,
+            self.state
+                .jobs
+                .iter()
+                .filter(|j| !j.is_complete() && !j.is_failed())
+                .count(),
+            "outstanding-jobs counter desynced from the job table"
+        );
+        if self.state.outstanding_jobs == 0 {
             return;
         }
         let interval = self.state.config.faults.crash_interval.as_micros().max(1);
@@ -441,6 +514,14 @@ impl Simulation {
     fn apply_crash(&mut self, worker: WorkerId) {
         self.state.metrics.counters.worker_crashes += 1;
         let (killed, dropped) = self.state.crash_worker(worker);
+        let at_us = self.state.now.as_micros();
+        let (n_killed, n_dropped) = (killed.len() as u32, dropped.len() as u32);
+        self.state.tracer.emit(|| TraceRecord::Crash {
+            at_us,
+            worker: worker.0,
+            killed: n_killed,
+            dropped: n_dropped,
+        });
         for probe in dropped {
             self.state.metrics.counters.probes_lost += 1;
             self.schedule_probe_retry(probe);
@@ -498,7 +579,9 @@ impl Simulation {
             // the cached bound-work aggregate.
             #[cfg(debug_assertions)]
             self.state.workers[worker.index()].audit_bound_work();
+            let started = self.state.profiler.begin();
             self.try_dispatch(worker);
+            self.state.profiler.end(ProfileScope::Dispatch, started);
         }
     }
 
@@ -545,22 +628,14 @@ impl Simulation {
             let start = self.state.now + fetch_delay;
             let finish = start + SimDuration(duration_us.max(1));
             let now = self.state.now;
-            let record_dist = self.state.config.record_task_waits;
-            let job = &mut self.state.jobs[job_idx];
-            let wait = start.since(job.arrival);
-            job.wait_sum_us += wait.as_micros();
-            let constrained = job.is_constrained();
             {
-                let m = &mut self.state.metrics;
-                let wsec = wait.as_secs_f64();
-                if constrained {
-                    m.constrained_wait_series.record(now.as_secs_f64(), wsec);
-                } else {
-                    m.unconstrained_wait_series.record(now.as_secs_f64(), wsec);
-                }
-                if record_dist {
-                    m.task_waits.record(wsec);
-                }
+                // Borrow-split so the job's wait accumulator and the
+                // metrics sink can be touched in one pass.
+                let SimState { jobs, metrics, .. } = &mut self.state;
+                let job = &mut jobs[job_idx];
+                let wait = start.since(job.arrival);
+                job.wait_sum_us += wait.as_micros();
+                metrics.record_task_wait(job, wait, now);
             }
             let seq = self.state.next_task_seq;
             self.state.next_task_seq += 1;

@@ -67,9 +67,11 @@ pub mod fault;
 pub mod jobstate;
 pub mod metrics;
 pub mod probe;
+pub mod profile;
 pub mod random;
 pub mod scheduler;
 pub mod time;
+pub mod trace;
 pub mod worker;
 
 pub use config::SimConfig;
@@ -81,7 +83,11 @@ pub use fault::FaultPlan;
 pub use jobstate::JobState;
 pub use metrics::{Counters, JobOutcome, SimMetrics, SimResult};
 pub use probe::{Probe, ProbeId};
+pub use profile::{ProfileReport, ProfileScope, Profiler, ScopeTotals};
 pub use random::RandomScheduler;
 pub use scheduler::Scheduler;
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    JsonlSink, KindCrv, MemorySink, MemoryTraceHandle, TraceRecord, TraceSink, Tracer, WorkerLoad,
+};
 pub use worker::{RunningTask, Worker, WorkerId};

@@ -7,6 +7,7 @@ use phoenix_metrics::{
 };
 
 use crate::jobstate::JobState;
+use crate::profile::ProfileReport;
 use crate::time::{SimDuration, SimTime};
 
 /// Monotone counters, some engine-maintained and some scheduler-maintained.
@@ -79,11 +80,16 @@ pub struct SimMetrics {
     pub makespan: SimTime,
     /// Sum of busy slot time across workers, microseconds.
     pub busy_us: u64,
+    /// Whether [`SimMetrics::record_task_wait`] feeds the heavy per-task
+    /// `task_waits` distribution (the Fig.-3 time series are always fed).
+    pub record_task_waits: bool,
 }
 
 impl SimMetrics {
     /// Creates empty metrics with the given time-series bucket width.
-    pub fn new(bucket: SimDuration) -> Self {
+    /// `record_task_waits` gates only the per-task `task_waits`
+    /// distribution, never the Fig.-3 time series.
+    pub fn new(bucket: SimDuration, record_task_waits: bool) -> Self {
         let width = bucket.as_secs_f64().max(1e-6);
         SimMetrics {
             job_response: ClassifiedLatencies::new(),
@@ -94,6 +100,7 @@ impl SimMetrics {
             counters: Counters::default(),
             makespan: SimTime::ZERO,
             busy_us: 0,
+            record_task_waits,
         }
     }
 
@@ -126,6 +133,12 @@ impl SimMetrics {
     }
 
     /// Records one task launch's queue wait at simulated time `now`.
+    ///
+    /// The constrained/unconstrained time series (Fig. 3) are always fed;
+    /// the heavy per-task `task_waits` distribution only when
+    /// `record_task_waits` was set. This is the single wait-recording path
+    /// — the engine's `try_dispatch` calls it rather than inlining a copy
+    /// that can drift.
     pub fn record_task_wait(&mut self, job: &JobState, wait: SimDuration, now: SimTime) {
         let w = wait.as_secs_f64();
         if job.is_constrained() {
@@ -133,7 +146,9 @@ impl SimMetrics {
         } else {
             self.unconstrained_wait_series.record(now.as_secs_f64(), w);
         }
-        self.task_waits.record(w);
+        if self.record_task_waits {
+            self.task_waits.record(w);
+        }
     }
 }
 
@@ -173,6 +188,9 @@ pub struct SimResult {
     pub scheduler: String,
     /// Number of workers simulated.
     pub workers: usize,
+    /// Execution slots per worker (≥ 1); utilization normalizes by
+    /// `workers × slots`, not workers alone.
+    pub slots_per_worker: usize,
     /// All metrics.
     pub metrics: SimMetrics,
     /// Counters (duplicated out of `metrics` for convenience).
@@ -186,13 +204,19 @@ pub struct SimResult {
     pub lost_tasks: u64,
     /// Per-job outcomes, in trace order.
     pub job_outcomes: Vec<JobOutcome>,
+    /// Hot-path wall-clock profile (`None` unless profiling was enabled).
+    /// Wall-clock varies run to run, so this is excluded from `digest()`.
+    pub profile: Option<ProfileReport>,
 }
 
 impl SimResult {
     /// Cluster utilization: busy slot time over total slot time until the
-    /// makespan.
+    /// makespan. `busy_us` accumulates across every execution slot, so the
+    /// denominator is `makespan × workers × slots` — dividing by workers
+    /// alone reads > 100% on any loaded multi-slot run.
     pub fn utilization(&self) -> f64 {
-        let total = self.metrics.makespan.as_micros() as f64 * self.workers as f64;
+        let slots = self.slots_per_worker.max(1);
+        let total = self.metrics.makespan.as_micros() as f64 * (self.workers * slots) as f64;
         if total == 0.0 {
             return 0.0;
         }
@@ -232,29 +256,55 @@ impl SimResult {
         eat(&(self.workers as u64).to_le_bytes());
         eat(&self.metrics.makespan.as_micros().to_le_bytes());
         eat(&self.metrics.busy_us.to_le_bytes());
-        let c = &self.counters;
+        // Exhaustive destructure (no `..`): adding a counter field without
+        // covering it in the fingerprint is a compile error, not a silent
+        // regression-test blind spot. Keep the feed order in sync with the
+        // declaration order, or every golden digest shifts.
+        let Counters {
+            probes_sent,
+            redundant_probes,
+            bound_placements,
+            tasks_completed,
+            jobs_completed,
+            jobs_failed,
+            relaxed_tasks,
+            crv_reordered_tasks,
+            crv_insertions,
+            srpt_reordered_tasks,
+            stolen_probes,
+            migrated_probes,
+            sbp_continuations,
+            starvation_suppressions,
+            worker_crashes,
+            worker_recoveries,
+            tasks_killed,
+            probes_lost,
+            probe_retries,
+            probes_delayed,
+            requeued_tasks,
+        } = self.counters;
         for v in [
-            c.probes_sent,
-            c.redundant_probes,
-            c.bound_placements,
-            c.tasks_completed,
-            c.jobs_completed,
-            c.jobs_failed,
-            c.relaxed_tasks,
-            c.crv_reordered_tasks,
-            c.crv_insertions,
-            c.srpt_reordered_tasks,
-            c.stolen_probes,
-            c.migrated_probes,
-            c.sbp_continuations,
-            c.starvation_suppressions,
-            c.worker_crashes,
-            c.worker_recoveries,
-            c.tasks_killed,
-            c.probes_lost,
-            c.probe_retries,
-            c.probes_delayed,
-            c.requeued_tasks,
+            probes_sent,
+            redundant_probes,
+            bound_placements,
+            tasks_completed,
+            jobs_completed,
+            jobs_failed,
+            relaxed_tasks,
+            crv_reordered_tasks,
+            crv_insertions,
+            srpt_reordered_tasks,
+            stolen_probes,
+            migrated_probes,
+            sbp_continuations,
+            starvation_suppressions,
+            worker_crashes,
+            worker_recoveries,
+            tasks_killed,
+            probes_lost,
+            probe_retries,
+            probes_delayed,
+            requeued_tasks,
         ] {
             eat(&v.to_le_bytes());
         }
@@ -330,7 +380,7 @@ mod tests {
 
     #[test]
     fn job_completion_recording() {
-        let mut m = SimMetrics::new(SimDuration::from_secs(60));
+        let mut m = SimMetrics::new(SimDuration::from_secs(60), true);
         let mut j = job(false, true);
         let _ = j.take_task();
         j.wait_sum_us += 2_000_000;
@@ -345,7 +395,7 @@ mod tests {
 
     #[test]
     fn task_wait_series_split_by_constraint_status() {
-        let mut m = SimMetrics::new(SimDuration::from_secs(1));
+        let mut m = SimMetrics::new(SimDuration::from_secs(1), true);
         m.record_task_wait(&job(true, true), SimDuration::from_secs(1), SimTime(0));
         m.record_task_wait(&job(false, true), SimDuration::from_secs(2), SimTime(0));
         assert_eq!(m.constrained_wait_series.len(), 1);
@@ -353,34 +403,65 @@ mod tests {
         assert_eq!(m.task_waits.len(), 2);
     }
 
+    /// The `record_task_waits` gate suppresses only the heavy per-task
+    /// distribution; the Fig.-3 time series must keep recording.
     #[test]
-    fn utilization_math() {
-        let mut m = SimMetrics::new(SimDuration::from_secs(60));
-        m.makespan = SimTime(1_000_000);
-        m.busy_us = 500_000;
-        let r = SimResult {
+    fn task_wait_gate_spares_the_time_series() {
+        let mut m = SimMetrics::new(SimDuration::from_secs(1), false);
+        m.record_task_wait(&job(true, true), SimDuration::from_secs(1), SimTime(0));
+        m.record_task_wait(&job(false, true), SimDuration::from_secs(2), SimTime(0));
+        assert_eq!(m.constrained_wait_series.len(), 1);
+        assert_eq!(m.unconstrained_wait_series.len(), 1);
+        assert_eq!(m.task_waits.len(), 0, "distribution is gated off");
+    }
+
+    fn result_with(workers: usize, slots: usize, makespan_us: u64, busy_us: u64) -> SimResult {
+        let mut m = SimMetrics::new(SimDuration::from_secs(60), false);
+        m.makespan = SimTime(makespan_us);
+        m.busy_us = busy_us;
+        SimResult {
             scheduler: "test".into(),
-            workers: 1,
+            workers,
+            slots_per_worker: slots,
             counters: m.counters,
             metrics: m,
             incomplete_jobs: 0,
             lost_tasks: 0,
             job_outcomes: Vec::new(),
-        };
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn utilization_math() {
+        let r = result_with(1, 1, 1_000_000, 500_000);
         assert!((r.utilization() - 0.5).abs() < 1e-12);
         assert!(!r.to_string().is_empty());
     }
 
+    /// Multi-slot workers accumulate `busy_us` across every slot, so the
+    /// denominator must scale by the slot count: 4 workers × 2 slots fully
+    /// busy for the whole makespan is 100%, not 200%.
+    #[test]
+    fn utilization_normalizes_by_slot_count() {
+        let saturated = result_with(4, 2, 1_000_000, 8_000_000);
+        assert!((saturated.utilization() - 1.0).abs() < 1e-12);
+        let half = result_with(4, 2, 1_000_000, 4_000_000);
+        assert!((half.utilization() - 0.5).abs() < 1e-12);
+    }
+
     #[test]
     fn digest_is_stable_and_content_sensitive() {
-        let m = SimMetrics::new(SimDuration::from_secs(60));
+        let m = SimMetrics::new(SimDuration::from_secs(60), false);
         let mut r = SimResult {
             scheduler: "test".into(),
             workers: 4,
+            slots_per_worker: 1,
             counters: m.counters,
             metrics: m,
             incomplete_jobs: 0,
             lost_tasks: 0,
+            profile: None,
             job_outcomes: vec![JobOutcome {
                 job: JobId(7),
                 short: true,

@@ -1,0 +1,642 @@
+//! Zero-cost-when-disabled event tracing for the decisions the paper
+//! reasons about.
+//!
+//! The engine and the schedulers emit typed [`TraceRecord`]s — placement
+//! choices, CRV reorders/insertions, starvation suppressions, steals,
+//! migrations, crash/recover strikes, and periodic heartbeat snapshots —
+//! into a pluggable [`TraceSink`]. The default is *no sink at all*: every
+//! emission site is guarded by an [`Tracer::enabled`] check (or routed
+//! through [`Tracer::emit`], whose record-building closure never runs when
+//! disabled), so a run without a sink executes exactly the instructions it
+//! executed before this module existed. Tracing draws no randomness and
+//! touches no metrics, so enabling it cannot perturb a run either — the
+//! digest-parity tests pin both properties.
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`MemorySink`] — a bounded in-memory ring buffer, shareable with the
+//!   test/tool that wants to inspect the records afterwards;
+//! * [`JsonlSink`] — newline-delimited JSON to a file (the bench runner's
+//!   `--trace-out <path>` flag);
+//! * no sink — the no-op default.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+
+use phoenix_constraints::ConstraintKind;
+
+/// Per-constraint-kind demand/supply cell of a heartbeat snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindCrv {
+    /// Constraint kind.
+    pub kind: ConstraintKind,
+    /// Queued demand units for the kind at snapshot time.
+    pub demand: f64,
+    /// Idle-feasible supply for the kind at snapshot time.
+    pub supply: f64,
+}
+
+impl KindCrv {
+    /// Demand over supply (`inf` when demand exists with zero supply).
+    pub fn ratio(&self) -> f64 {
+        if self.demand <= 0.0 {
+            0.0
+        } else {
+            self.demand / self.supply
+        }
+    }
+}
+
+/// Per-worker load cell of a heartbeat snapshot (only workers whose
+/// estimator windows have data are included).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerLoad {
+    /// Worker index.
+    pub worker: u32,
+    /// Observed offered load `ρ = λ·E[S]`.
+    pub rho: f64,
+    /// Pollaczek–Khinchine expected wait, microseconds.
+    pub expected_wait_us: u64,
+}
+
+/// One traced scheduling decision or periodic snapshot.
+///
+/// All timestamps are simulated microseconds (`at_us`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A scheduler chose a worker for a probe ([`crate::SimCtx::send_probe`]).
+    Placement {
+        /// Simulated time, microseconds.
+        at_us: u64,
+        /// Owning job.
+        job: u32,
+        /// Chosen worker.
+        worker: u32,
+        /// Whether the probe carries its task (early binding).
+        bound: bool,
+        /// Soft-relaxation slowdown carried by the placement.
+        slowdown: f64,
+    },
+    /// A heartbeat CRV pass promoted probes in a worker's queue.
+    Reorder {
+        /// Simulated time, microseconds.
+        at_us: u64,
+        /// Reordered worker.
+        worker: u32,
+        /// Probes promoted by this pass.
+        promoted: u32,
+    },
+    /// The CRV insertion discipline moved a newly enqueued probe forward.
+    Insertion {
+        /// Simulated time, microseconds.
+        at_us: u64,
+        /// Worker whose queue was reordered.
+        worker: u32,
+        /// Probes the new probe bypassed.
+        bypassed: u32,
+    },
+    /// The starvation (slack) bound suppressed a promotion.
+    Suppression {
+        /// Simulated time, microseconds.
+        at_us: u64,
+        /// Worker whose queue held the pinned probe.
+        worker: u32,
+    },
+    /// An idle worker stole queued probes from a victim.
+    Steal {
+        /// Simulated time, microseconds.
+        at_us: u64,
+        /// Worker the probes were taken from.
+        victim: u32,
+        /// Worker that took them.
+        thief: u32,
+        /// Number of probes stolen.
+        probes: u32,
+    },
+    /// Dynamic rescheduling migrated a stuck constrained probe.
+    Migration {
+        /// Simulated time, microseconds.
+        at_us: u64,
+        /// Owning job.
+        job: u32,
+        /// Queue the probe was recalled from.
+        from: u32,
+        /// Queue it was re-sent to.
+        to: u32,
+    },
+    /// Fault injection crashed a worker.
+    Crash {
+        /// Simulated time, microseconds.
+        at_us: u64,
+        /// Crashed worker.
+        worker: u32,
+        /// Running tasks killed by the strike.
+        killed: u32,
+        /// Queued probes dropped by the strike.
+        dropped: u32,
+    },
+    /// A crashed worker came back up.
+    Recover {
+        /// Simulated time, microseconds.
+        at_us: u64,
+        /// Recovered worker.
+        worker: u32,
+    },
+    /// Periodic monitor snapshot (one per scheduler heartbeat).
+    Heartbeat {
+        /// Simulated time, microseconds.
+        at_us: u64,
+        /// Whether the CRV trigger condition held at this heartbeat.
+        crv_mode: bool,
+        /// Per-kind demand/supply (kinds with zero demand and supply are
+        /// omitted).
+        crv: Vec<KindCrv>,
+        /// Per-worker offered load and P-K expected wait (workers without
+        /// estimator data are omitted).
+        workers: Vec<WorkerLoad>,
+        /// Worker count per queue-length bucket: `[0, 1, 2-3, 4-7, 8-15,
+        /// ...]` (power-of-two buckets, last bucket open-ended).
+        queue_histogram: Vec<u32>,
+    },
+}
+
+/// Formats an `f64` as JSON: finite values verbatim, `inf`/`nan` as `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = format!("{x}");
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+impl TraceRecord {
+    /// The record's type tag as it appears in the JSONL `"type"` field.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceRecord::Placement { .. } => "placement",
+            TraceRecord::Reorder { .. } => "reorder",
+            TraceRecord::Insertion { .. } => "insertion",
+            TraceRecord::Suppression { .. } => "suppression",
+            TraceRecord::Steal { .. } => "steal",
+            TraceRecord::Migration { .. } => "migration",
+            TraceRecord::Crash { .. } => "crash",
+            TraceRecord::Recover { .. } => "recover",
+            TraceRecord::Heartbeat { .. } => "heartbeat",
+        }
+    }
+
+    /// The record's simulated timestamp, microseconds.
+    pub fn at_us(&self) -> u64 {
+        match *self {
+            TraceRecord::Placement { at_us, .. }
+            | TraceRecord::Reorder { at_us, .. }
+            | TraceRecord::Insertion { at_us, .. }
+            | TraceRecord::Suppression { at_us, .. }
+            | TraceRecord::Steal { at_us, .. }
+            | TraceRecord::Migration { at_us, .. }
+            | TraceRecord::Crash { at_us, .. }
+            | TraceRecord::Recover { at_us, .. }
+            | TraceRecord::Heartbeat { at_us, .. } => at_us,
+        }
+    }
+
+    /// Renders the record as one line of JSON (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        write!(
+            s,
+            "{{\"type\":\"{}\",\"at_us\":{}",
+            self.kind_name(),
+            self.at_us()
+        )
+        .unwrap();
+        match self {
+            TraceRecord::Placement {
+                job,
+                worker,
+                bound,
+                slowdown,
+                ..
+            } => {
+                write!(
+                    s,
+                    ",\"job\":{job},\"worker\":{worker},\"bound\":{bound},\"slowdown\":{}",
+                    json_f64(*slowdown)
+                )
+                .unwrap();
+            }
+            TraceRecord::Reorder {
+                worker, promoted, ..
+            } => {
+                write!(s, ",\"worker\":{worker},\"promoted\":{promoted}").unwrap();
+            }
+            TraceRecord::Insertion {
+                worker, bypassed, ..
+            } => {
+                write!(s, ",\"worker\":{worker},\"bypassed\":{bypassed}").unwrap();
+            }
+            TraceRecord::Suppression { worker, .. } => {
+                write!(s, ",\"worker\":{worker}").unwrap();
+            }
+            TraceRecord::Steal {
+                victim,
+                thief,
+                probes,
+                ..
+            } => {
+                write!(
+                    s,
+                    ",\"victim\":{victim},\"thief\":{thief},\"probes\":{probes}"
+                )
+                .unwrap();
+            }
+            TraceRecord::Migration { job, from, to, .. } => {
+                write!(s, ",\"job\":{job},\"from\":{from},\"to\":{to}").unwrap();
+            }
+            TraceRecord::Crash {
+                worker,
+                killed,
+                dropped,
+                ..
+            } => {
+                write!(
+                    s,
+                    ",\"worker\":{worker},\"killed\":{killed},\"dropped\":{dropped}"
+                )
+                .unwrap();
+            }
+            TraceRecord::Recover { worker, .. } => {
+                write!(s, ",\"worker\":{worker}").unwrap();
+            }
+            TraceRecord::Heartbeat {
+                crv_mode,
+                crv,
+                workers,
+                queue_histogram,
+                ..
+            } => {
+                write!(s, ",\"crv_mode\":{crv_mode},\"crv\":[").unwrap();
+                for (i, cell) in crv.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    write!(
+                        s,
+                        "{{\"kind\":\"{}\",\"demand\":{},\"supply\":{},\"ratio\":{}}}",
+                        cell.kind,
+                        json_f64(cell.demand),
+                        json_f64(cell.supply),
+                        json_f64(cell.ratio())
+                    )
+                    .unwrap();
+                }
+                write!(s, "],\"workers\":[").unwrap();
+                for (i, w) in workers.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    write!(
+                        s,
+                        "{{\"worker\":{},\"rho\":{},\"expected_wait_us\":{}}}",
+                        w.worker,
+                        json_f64(w.rho),
+                        w.expected_wait_us
+                    )
+                    .unwrap();
+                }
+                write!(s, "],\"queue_histogram\":[").unwrap();
+                for (i, count) in queue_histogram.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    write!(s, "{count}").unwrap();
+                }
+                s.push(']');
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Destination for trace records. Implementations must not feed anything
+/// back into the simulation: a sink observes, it never participates.
+pub trait TraceSink: Send {
+    /// Consumes one record.
+    fn record(&mut self, record: &TraceRecord);
+
+    /// Flushes buffered output (called once when the run finishes).
+    fn flush(&mut self) {}
+}
+
+/// The engine-side dispatcher: either no sink (the zero-cost default) or
+/// one boxed [`TraceSink`].
+#[derive(Default)]
+pub struct Tracer {
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that drops everything (the default).
+    pub fn disabled() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer feeding `sink`.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// Whether a sink is attached. Emission sites that need to *build*
+    /// state-derived records check this first; everything else goes through
+    /// [`Tracer::emit`], which checks internally.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits the record produced by `build` — which is never invoked when
+    /// no sink is attached, keeping disabled-tracing cost to one branch.
+    #[inline]
+    pub fn emit(&mut self, build: impl FnOnce() -> TraceRecord) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(&build());
+        }
+    }
+
+    /// Emits an already-built record.
+    pub fn emit_record(&mut self, record: TraceRecord) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(&record);
+        }
+    }
+
+    /// Flushes the sink, if any.
+    pub fn flush(&mut self) {
+        if let Some(sink) = &mut self.sink {
+            sink.flush();
+        }
+    }
+}
+
+/// Shared view into a [`MemorySink`]'s ring buffer.
+pub type MemoryTraceHandle = Arc<Mutex<VecDeque<TraceRecord>>>;
+
+/// Bounded in-memory ring buffer sink: keeps the most recent `capacity`
+/// records, dropping the oldest on overflow. The buffer is shared, so a
+/// test or tool can hold a [`MemoryTraceHandle`] and read the records after
+/// (or during) the run.
+#[derive(Debug)]
+pub struct MemorySink {
+    buffer: MemoryTraceHandle,
+    capacity: usize,
+}
+
+impl MemorySink {
+    /// Creates a ring sink retaining at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer needs capacity");
+        MemorySink {
+            buffer: Arc::new(Mutex::new(VecDeque::with_capacity(capacity.min(1024)))),
+            capacity,
+        }
+    }
+
+    /// A shared handle onto the ring buffer.
+    pub fn handle(&self) -> MemoryTraceHandle {
+        Arc::clone(&self.buffer)
+    }
+
+    /// Snapshots the buffered records, oldest first.
+    pub fn records(handle: &MemoryTraceHandle) -> Vec<TraceRecord> {
+        handle
+            .lock()
+            .expect("trace ring not poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, record: &TraceRecord) {
+        let mut buffer = self.buffer.lock().expect("trace ring not poisoned");
+        if buffer.len() == self.capacity {
+            buffer.pop_front();
+        }
+        buffer.push_back(record.clone());
+    }
+}
+
+/// Newline-delimited-JSON file sink (one [`TraceRecord::to_jsonl`] line per
+/// record), buffered, flushed at end of run and on drop.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the output file.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            writer: std::io::BufWriter::new(file),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, record: &TraceRecord) {
+        // Trace output is best-effort observability: an I/O error must not
+        // abort a deterministic run that is 2 hours in.
+        let _ = writeln!(self.writer, "{}", record.to_jsonl());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Buckets a queue length into the heartbeat histogram's power-of-two
+/// buckets: `[0, 1, 2-3, 4-7, 8-15, ...]`.
+pub fn queue_histogram_bucket(len: usize) -> usize {
+    match len {
+        0 => 0,
+        n => (usize::BITS - n.leading_zeros()) as usize,
+    }
+}
+
+/// Builds the heartbeat queue-length histogram over `lens`.
+pub fn queue_histogram(lens: impl Iterator<Item = usize>) -> Vec<u32> {
+    let mut hist: Vec<u32> = Vec::new();
+    for len in lens {
+        let bucket = queue_histogram_bucket(len);
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placement(at: u64) -> TraceRecord {
+        TraceRecord::Placement {
+            at_us: at,
+            job: 3,
+            worker: 9,
+            bound: false,
+            slowdown: 1.0,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_records() {
+        let mut tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        tracer.emit(|| unreachable!("closure must not run without a sink"));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let sink = MemorySink::new(3);
+        let handle = sink.handle();
+        let mut tracer = Tracer::with_sink(Box::new(sink));
+        for at in 0..5 {
+            tracer.emit(|| placement(at));
+        }
+        let records = MemorySink::records(&handle);
+        assert_eq!(records.len(), 3);
+        let ats: Vec<u64> = records.iter().map(TraceRecord::at_us).collect();
+        assert_eq!(ats, vec![2, 3, 4], "oldest records evicted first");
+    }
+
+    #[test]
+    fn jsonl_rendering_is_line_parseable() {
+        let rec = TraceRecord::Heartbeat {
+            at_us: 120,
+            crv_mode: true,
+            crv: vec![KindCrv {
+                kind: ConstraintKind::NumCores,
+                demand: 4.0,
+                supply: 0.0,
+            }],
+            workers: vec![WorkerLoad {
+                worker: 2,
+                rho: 0.5,
+                expected_wait_us: 1500,
+            }],
+            queue_histogram: vec![3, 1, 0, 2],
+        };
+        let line = rec.to_jsonl();
+        assert!(!line.contains('\n'), "one record per line");
+        assert!(line.starts_with("{\"type\":\"heartbeat\",\"at_us\":120"));
+        // demand 4 with supply 0 is infinite contention: rendered as null.
+        assert!(line.contains("\"ratio\":null"), "{line}");
+        assert!(line.contains("\"demand\":4.0"), "{line}");
+        assert!(line.contains("\"queue_histogram\":[3,1,0,2]"), "{line}");
+        assert!(line.ends_with('}'));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the dependency-free build).
+        let opens = line.matches('{').count();
+        let closes = line.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(line.matches('[').count(), line.matches(']').count());
+    }
+
+    #[test]
+    fn every_variant_renders_with_type_and_timestamp() {
+        let records = [
+            placement(1),
+            TraceRecord::Reorder {
+                at_us: 2,
+                worker: 0,
+                promoted: 3,
+            },
+            TraceRecord::Insertion {
+                at_us: 3,
+                worker: 0,
+                bypassed: 1,
+            },
+            TraceRecord::Suppression {
+                at_us: 4,
+                worker: 1,
+            },
+            TraceRecord::Steal {
+                at_us: 5,
+                victim: 1,
+                thief: 2,
+                probes: 4,
+            },
+            TraceRecord::Migration {
+                at_us: 6,
+                job: 7,
+                from: 1,
+                to: 2,
+            },
+            TraceRecord::Crash {
+                at_us: 7,
+                worker: 3,
+                killed: 1,
+                dropped: 2,
+            },
+            TraceRecord::Recover {
+                at_us: 8,
+                worker: 3,
+            },
+            TraceRecord::Heartbeat {
+                at_us: 9,
+                crv_mode: false,
+                crv: vec![],
+                workers: vec![],
+                queue_histogram: vec![],
+            },
+        ];
+        for rec in &records {
+            let line = rec.to_jsonl();
+            assert!(
+                line.contains(&format!("\"type\":\"{}\"", rec.kind_name())),
+                "{line}"
+            );
+            assert!(
+                line.contains(&format!("\"at_us\":{}", rec.at_us())),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(queue_histogram_bucket(0), 0);
+        assert_eq!(queue_histogram_bucket(1), 1);
+        assert_eq!(queue_histogram_bucket(2), 2);
+        assert_eq!(queue_histogram_bucket(3), 2);
+        assert_eq!(queue_histogram_bucket(4), 3);
+        assert_eq!(queue_histogram_bucket(7), 3);
+        assert_eq!(queue_histogram_bucket(8), 4);
+        let hist = queue_histogram([0usize, 0, 1, 3, 8].into_iter());
+        assert_eq!(hist, vec![2, 1, 1, 0, 1]);
+    }
+}

@@ -3,7 +3,7 @@
 //! before the next dispatch.
 
 use phoenix_constraints::{FeasibilityIndex, MachinePopulation, PopulationProfile};
-use phoenix_sim::{Scheduler, SimConfig, SimCtx, Simulation, WorkerId};
+use phoenix_sim::{Scheduler, SimConfig, SimCtx, SimDuration, Simulation, WorkerId};
 use phoenix_traces::{Job, JobId, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -208,6 +208,94 @@ impl Scheduler for RecycleScheduler {
         let probe = ctx.new_bound_probe(job, bound);
         ctx.send_probe(WorkerId(0), probe);
     }
+}
+
+/// Late-binds one task to worker 0, then crashes the worker *inside the
+/// task-fetch RTT window*: the probe was dispatched (it holds a slot and
+/// its full duration was credited to the busy-time metric), but the task
+/// payload is still in flight and execution has not started. The crash
+/// must refund exactly the never-executed portion — busy time can never
+/// underflow — and the killed task must carry its raw duration so it can
+/// be re-bound elsewhere and complete.
+#[derive(Debug)]
+struct CrashInRttScheduler {
+    struck: bool,
+}
+
+impl Scheduler for CrashInRttScheduler {
+    fn name(&self) -> &str {
+        "crash-in-rtt"
+    }
+
+    fn on_job_arrival(&mut self, job: JobId, ctx: &mut SimCtx<'_>) {
+        // Unbound (late-binding) probe: dispatch will pay the fetch RTT.
+        let probe = ctx.new_probe(job);
+        ctx.send_probe(WorkerId(0), probe);
+    }
+
+    fn on_probe_enqueued(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        // Dispatch happens right after this hook returns; the fetched task
+        // starts only one RTT later. Strike 100 µs into that window. (The
+        // re-bound probe lands on worker 1 later — only strike once.)
+        if worker == WorkerId(0) && !self.struck {
+            self.struck = true;
+            ctx.schedule_wakeup(SimDuration::from_micros(100), 0);
+        }
+    }
+
+    fn on_wakeup(&mut self, _token: u64, ctx: &mut SimCtx<'_>) {
+        let now = ctx.now();
+        let rtt = ctx.state().config.rtt();
+        let (killed, dropped) = ctx.state_mut().crash_worker(WorkerId(0));
+        assert!(dropped.is_empty(), "the probe was already dispatched");
+        assert_eq!(killed.len(), 1, "the fetching task is a casualty");
+        let task = &killed[0];
+        let start = SimDuration(task.finish_at.as_micros() - task.duration_us);
+        assert!(
+            start.as_micros() > now.as_micros(),
+            "crash must land before execution starts (start {start:?}, now {now:?})"
+        );
+        assert!(
+            start.as_micros() - now.as_micros() < rtt.as_micros(),
+            "crash must land inside the RTT window"
+        );
+        // The refund leaves exactly the slot-held time before the crash —
+        // dispatch-to-crash — never a wrapped-around huge value.
+        let residue = ctx.worker(WorkerId(0)).busy_us();
+        assert_eq!(
+            residue, 100,
+            "only the 100 µs of slot time before the crash remains"
+        );
+        // Re-bind the casualty onto worker 1 so the job still completes.
+        let probe = ctx.new_bound_probe(task.job, task.raw_duration_us);
+        ctx.send_probe(WorkerId(1), probe);
+    }
+}
+
+#[test]
+fn crash_inside_rtt_window_refunds_unstarted_task_time() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let cluster = MachinePopulation::generate(PopulationProfile::google_like(), 4, &mut rng);
+    let result = Simulation::new(
+        SimConfig::default(),
+        FeasibilityIndex::new(cluster.into_machines()),
+        &one_short_job_trace(),
+        Box::new(CrashInRttScheduler { struck: false }),
+        3,
+    )
+    .run();
+    assert_eq!(result.incomplete_jobs, 0, "re-bound task must complete");
+    assert_eq!(result.lost_tasks, 0);
+    assert_eq!(result.counters.tasks_completed, 1);
+    // Busy-time ledger, reconstructed by hand: the crashed worker keeps the
+    // 100 µs its slot was held (dispatch at t=250 µs, crash at t=350 µs);
+    // worker 1 then runs the re-bound 1 s task in full. Any refund bug —
+    // double-refund, missed refund, or u64 underflow — breaks this exactly.
+    assert_eq!(
+        result.metrics.busy_us,
+        100 + 1_000_000,
+        "busy time = pre-crash slot residue + full re-run"
+    );
 }
 
 #[test]

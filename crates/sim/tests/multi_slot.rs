@@ -48,6 +48,55 @@ fn slots_parallelize_on_one_machine() {
     assert!((quad - 10.0).abs() < 0.1, "quad {quad}");
 }
 
+/// Utilization must normalize by slot capacity, not machine count: a
+/// 4-slot machine kept fully busy is at 100%, not 400%, and a contended
+/// multi-slot, multi-machine run must never report more than 100%.
+#[test]
+fn utilization_is_normalized_by_slot_capacity() {
+    // One machine, 4 slots, 4 equal tasks: perfectly packed — utilization
+    // is ~1.0 (shy of exact only by the probe's network delay, which
+    // stretches the makespan but not the busy time) and never above it.
+    let config = SimConfig {
+        slots_per_worker: 4,
+        ..SimConfig::default()
+    };
+    let result = Simulation::new(
+        config,
+        FeasibilityIndex::new(vec![AttributeVector::default()]),
+        &trace_with_tasks(4, 10.0),
+        Box::new(RandomScheduler::new(1)),
+        1,
+    )
+    .run();
+    assert_eq!(result.incomplete_jobs, 0);
+    let util = result.utilization();
+    assert!(
+        util > 0.999 && util <= 1.0,
+        "4 tasks saturating 4 slots is ~100% utilization, got {util}"
+    );
+
+    // Two machines x 3 slots, uneven task count: busy but not perfectly
+    // packed — strictly between 0 and 1.
+    let config = SimConfig {
+        slots_per_worker: 3,
+        ..SimConfig::default()
+    };
+    let result = Simulation::new(
+        config,
+        FeasibilityIndex::new(vec![AttributeVector::default(); 2]),
+        &trace_with_tasks(17, 3.0),
+        Box::new(RandomScheduler::new(2)),
+        1,
+    )
+    .run();
+    assert_eq!(result.incomplete_jobs, 0);
+    let util = result.utilization();
+    assert!(
+        util > 0.0 && util <= 1.0,
+        "multi-slot utilization must land in (0, 1], got {util}"
+    );
+}
+
 #[test]
 fn extra_slots_do_not_lose_or_duplicate_tasks() {
     let config = SimConfig {

@@ -64,7 +64,7 @@ pub use phoenix_traces as traces;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
-    pub use phoenix_bench::{run_many, run_spec, RunSpec, Scale, SchedulerKind};
+    pub use phoenix_bench::{run_many, run_spec, ObserveArgs, RunSpec, Scale, SchedulerKind};
     pub use phoenix_constraints::{
         AttributeVector, Constraint, ConstraintClass, ConstraintKind, ConstraintModel,
         ConstraintOp, ConstraintSet, Crv, CrvDimension, FeasibilityIndex, Isa, MachinePopulation,
@@ -75,6 +75,9 @@ pub mod prelude {
     pub use phoenix_schedulers::{
         BaselineConfig, ChoosyC, EagleC, HawkC, MercuryC, MonolithicC, SparrowC, YaqD,
     };
-    pub use phoenix_sim::{FaultPlan, Scheduler, SimConfig, SimResult, Simulation};
+    pub use phoenix_sim::{
+        FaultPlan, JsonlSink, MemorySink, ProfileReport, ProfileScope, Scheduler, SimConfig,
+        SimResult, Simulation, TraceRecord, TraceSink,
+    };
     pub use phoenix_traces::{Job, JobId, Trace, TraceGenerator, TraceProfile, TraceStats};
 }
