@@ -113,20 +113,22 @@ impl Default for Scale {
     }
 }
 
-/// Observability flags (`--trace-out <path>`, `--profile`) for the bench
-/// binaries. Parsed separately from [`Scale`] so the scale presets stay
-/// `Copy`-able plain data.
+/// Observability flags (`--trace-out <path>`, `--profile`, `--audit`) for
+/// the bench binaries. Parsed separately from [`Scale`] so the scale
+/// presets stay `Copy`-able plain data.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ObserveArgs {
     /// Write a JSONL event trace of the run to this path.
     pub trace_out: Option<std::path::PathBuf>,
     /// Print the wall-clock hot-path profile table after the run.
     pub profile: bool,
+    /// Run under the invariant auditor and print its report after the run.
+    pub audit: bool,
 }
 
 impl ObserveArgs {
-    /// Parses `--trace-out <path>` and `--profile` from the process
-    /// arguments.
+    /// Parses `--trace-out <path>`, `--profile` and `--audit` from the
+    /// process arguments.
     pub fn from_args() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -143,6 +145,7 @@ impl ObserveArgs {
                     i += 1;
                 }
                 "--profile" => observe.profile = true,
+                "--audit" => observe.audit = true,
                 _ => {}
             }
             i += 1;
@@ -175,6 +178,7 @@ mod tests {
                 "--trace-out",
                 "/tmp/t.jsonl",
                 "--profile",
+                "--audit",
                 "--scale",
                 "smoke",
             ]
@@ -186,6 +190,7 @@ mod tests {
             Some(std::path::Path::new("/tmp/t.jsonl"))
         );
         assert!(o.profile);
+        assert!(o.audit);
         let none = ObserveArgs::parse(["--scale", "quick"].iter().map(|s| s.to_string()));
         assert_eq!(none, ObserveArgs::default());
     }

@@ -11,9 +11,11 @@
 //! schema section): placement choices, CRV reorders/insertions, starvation
 //! suppressions, steals, migrations, crash/recover strikes, and per-heartbeat
 //! monitor snapshots. `--profile` prints the wall-clock table of the engine
-//! hot paths (dispatch, heartbeat refresh, reorder, steal). Neither flag
-//! changes the simulated behaviour: the run's digest matches the same spec
-//! without them.
+//! hot paths (dispatch, heartbeat refresh, reorder, steal). `--audit` runs
+//! the invariant auditor online (conservation, slot booking, placement
+//! feasibility, CRV ledger exactness, starvation slack) and prints its
+//! report. None of the flags change the simulated behaviour: the run's
+//! digest matches the same spec without them.
 
 use phoenix_bench::{run_spec, ObserveArgs, RunSpec, Scale, SchedulerKind};
 use phoenix_traces::TraceProfile;
@@ -48,6 +50,7 @@ fn main() {
     spec.faults = scale.faults;
     spec.trace_out = observe.trace_out.clone();
     spec.profile_hot_paths = observe.profile;
+    spec.audit = observe.audit;
     let result = run_spec(&spec);
     println!("{result}");
     println!("digest: {:016x}", result.digest());
@@ -56,5 +59,11 @@ fn main() {
     }
     if let Some(report) = &result.profile {
         println!("\nhot-path profile (wall clock):\n{report}");
+    }
+    if let Some(report) = &result.audit {
+        println!("\ninvariant audit:\n{report}");
+        if !report.is_clean() {
+            std::process::exit(1);
+        }
     }
 }

@@ -8,7 +8,7 @@ use phoenix_core::{Phoenix, PhoenixConfig};
 use phoenix_schedulers::{
     BaselineConfig, ChoosyC, EagleC, HawkC, MercuryC, MonolithicC, SparrowC, YaqD,
 };
-use phoenix_sim::{FaultPlan, JsonlSink, Scheduler, SimConfig, SimResult, Simulation};
+use phoenix_sim::{AuditConfig, FaultPlan, JsonlSink, Scheduler, SimConfig, SimResult, Simulation};
 use phoenix_traces::{TraceGenerator, TraceProfile};
 
 /// The schedulers the paper evaluates.
@@ -138,6 +138,10 @@ pub struct RunSpec {
     /// Profile engine hot paths, returning the wall-clock table in
     /// [`SimResult::profile`] (`--profile`).
     pub profile_hot_paths: bool,
+    /// Run under the invariant auditor, returning the report in
+    /// [`SimResult::audit`] (`--audit`; also forced by the `PHOENIX_AUDIT`
+    /// environment variable). Observational only: the digest is unchanged.
+    pub audit: bool,
 }
 
 impl RunSpec {
@@ -157,6 +161,7 @@ impl RunSpec {
             faults: FaultPlan::none(),
             trace_out: None,
             profile_hot_paths: false,
+            audit: false,
         }
     }
 
@@ -196,6 +201,12 @@ impl RunSpec {
         self.profile_hot_paths = true;
         self
     }
+
+    /// Returns a copy running under the invariant auditor.
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
 }
 
 /// Executes one run: generates the cluster and trace, simulates, returns
@@ -229,6 +240,10 @@ pub fn run_spec(spec: &RunSpec) -> SimResult {
     }
     if spec.profile_hot_paths {
         sim.enable_profiling();
+    }
+    // Audit goes last: it tees whatever trace sink is attached by now.
+    if spec.audit || std::env::var_os("PHOENIX_AUDIT").is_some() {
+        sim.enable_audit(AuditConfig::default());
     }
     sim.run()
 }

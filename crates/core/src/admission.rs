@@ -250,4 +250,103 @@ mod tests {
         let result = sim.run();
         assert_eq!(result.counters.jobs_failed, 1);
     }
+
+    /// Drives `negotiate_targets` once against the uniform 4-node cluster
+    /// and hands the outcome (with the input set) to `verify`.
+    fn negotiate_once(
+        constraints: Vec<Constraint>,
+        verify: impl Fn(&ConstraintSet, Option<&Negotiation>) + 'static,
+    ) {
+        struct Harness<F> {
+            set: ConstraintSet,
+            verify: F,
+        }
+        impl<F: Fn(&ConstraintSet, Option<&Negotiation>)> Scheduler for Harness<F> {
+            fn name(&self) -> &str {
+                "harness"
+            }
+            fn on_job_arrival(&mut self, job: JobId, ctx: &mut phoenix_sim::SimCtx<'_>) {
+                let n = negotiate_targets(ctx, &self.set, 2, &CrvTable::new(), |_| false);
+                (self.verify)(&self.set, n.as_ref());
+                ctx.fail_job(job); // end the run quickly
+            }
+        }
+        let set = ConstraintSet::from_constraints(constraints);
+        let jobs = vec![Job {
+            id: JobId(0),
+            arrival_s: 0.0,
+            task_durations_s: vec![1.0],
+            estimated_task_duration_s: 1.0,
+            constraints: set.clone(),
+            short: true,
+            user: 0,
+        }];
+        Simulation::new(
+            SimConfig::default(),
+            FeasibilityIndex::new(uniform_cluster()),
+            &Trace::new("t", jobs),
+            Box::new(Harness { set, verify }),
+            1,
+        )
+        .run();
+    }
+
+    /// Negotiation may only ever drop *soft* constraints: every hard
+    /// constraint of the input set must survive into the effective set,
+    /// even when several soft constraints are relaxed around it.
+    #[test]
+    fn negotiation_never_drops_a_hard_constraint() {
+        negotiate_once(
+            vec![
+                Constraint::hard(ConstraintKind::NumCores, ConstraintOp::Gt, 4),
+                Constraint::hard(
+                    ConstraintKind::Architecture,
+                    ConstraintOp::Eq,
+                    Isa::X86 as u64,
+                ),
+                // Both soft constraints are unsatisfiable on the 2.2 GHz
+                // uniform cluster and must be negotiated away.
+                Constraint::soft(ConstraintKind::CpuClockSpeed, ConstraintOp::Gt, 9_999),
+                Constraint::soft(ConstraintKind::EthernetSpeed, ConstraintOp::Gt, 999_999),
+            ],
+            |input, n| {
+                let n = n.expect("hard subset is satisfiable");
+                assert_eq!(n.relaxed, 2, "both soft constraints relaxed");
+                for hard in input.hard_constraints() {
+                    assert!(
+                        n.effective.iter().any(|c| c == hard),
+                        "hard constraint dropped by negotiation: {hard:?}"
+                    );
+                }
+                assert!(
+                    n.effective.soft_constraints().next().is_none(),
+                    "unsatisfiable soft constraints must all be gone"
+                );
+            },
+        );
+    }
+
+    /// A set whose *hard* subset is unsatisfiable is rejected outright —
+    /// never silently relaxed — no matter how many soft constraints could
+    /// be dropped around it.
+    #[test]
+    fn infeasible_hard_subset_is_rejected_not_relaxed() {
+        negotiate_once(
+            vec![
+                Constraint::hard(
+                    ConstraintKind::Architecture,
+                    ConstraintOp::Eq,
+                    Isa::Power as u64,
+                ),
+                Constraint::soft(ConstraintKind::CpuClockSpeed, ConstraintOp::Gt, 9_999),
+                Constraint::soft(ConstraintKind::NumCores, ConstraintOp::Gt, 4),
+            ],
+            |_, n| {
+                assert!(
+                    n.is_none(),
+                    "an unsatisfiable hard constraint must fail the job, got {n:?}"
+                );
+            },
+        );
+    }
 }

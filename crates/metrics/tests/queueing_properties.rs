@@ -1,0 +1,70 @@
+//! Property tests for the Pollaczek–Khinchine `E[W]` estimator (the paper's
+//! Equation 1): exact agreement with the closed-form M/M/1 wait for
+//! exponential service, and monotonicity in both offered load ρ and
+//! service-time variance.
+
+use phoenix_metrics::queueing::{mg1_mean_wait, mm1_mean_wait, rho, ServiceMoments};
+use proptest::prelude::*;
+
+proptest! {
+    /// For exponential service, P-K collapses to the closed-form M/M/1
+    /// wait `ρ/(1−ρ)·E[S]`.
+    #[test]
+    fn pk_matches_closed_form_mm1_for_exponential_service(
+        mean_service in 0.01f64..100.0,
+        target_rho in 0.01f64..0.99,
+    ) {
+        let lambda = target_rho / mean_service;
+        let service = ServiceMoments::exponential(mean_service);
+        let pk = mg1_mean_wait(lambda, &service);
+        let r = rho(lambda, &service);
+        let closed_form = r / (1.0 - r) * mean_service;
+        prop_assert!(
+            (pk - closed_form).abs() <= 1e-9 * closed_form.max(1.0),
+            "P-K {pk} vs closed-form M/M/1 {closed_form} at rho {r}"
+        );
+        prop_assert!((pk - mm1_mean_wait(lambda, mean_service)).abs() == 0.0);
+    }
+
+    /// `E[W]` is non-decreasing in ρ (raising the arrival rate at fixed
+    /// service moments can only lengthen the wait), and stays finite
+    /// strictly below saturation.
+    #[test]
+    fn pk_is_monotone_in_rho(
+        mean_service in 0.01f64..100.0,
+        scv in 0.0f64..4.0,
+        rho_lo in 0.01f64..0.98,
+        rho_step in 0.001f64..0.5,
+    ) {
+        let rho_hi = (rho_lo + rho_step).min(0.995);
+        let service = ServiceMoments {
+            mean: mean_service,
+            second_moment: (1.0 + scv) * mean_service * mean_service,
+        };
+        let lo = mg1_mean_wait(rho_lo / mean_service, &service);
+        let hi = mg1_mean_wait(rho_hi / mean_service, &service);
+        prop_assert!(lo.is_finite() && hi.is_finite(), "finite below saturation");
+        prop_assert!(lo >= 0.0);
+        prop_assert!(hi >= lo, "E[W] decreased as rho rose: {lo} -> {hi}");
+    }
+
+    /// At fixed mean service time and arrival rate, `E[W]` is
+    /// non-decreasing in the service-time variance (second moment): more
+    /// variable service means longer waits, with deterministic service as
+    /// the floor.
+    #[test]
+    fn pk_is_monotone_in_service_variance(
+        mean_service in 0.01f64..100.0,
+        target_rho in 0.01f64..0.99,
+        scv_lo in 0.0f64..4.0,
+        scv_step in 0.0f64..4.0,
+    ) {
+        let lambda = target_rho / mean_service;
+        let m2 = |scv: f64| (1.0 + scv) * mean_service * mean_service;
+        let lo = mg1_mean_wait(lambda, &ServiceMoments { mean: mean_service, second_moment: m2(scv_lo) });
+        let hi = mg1_mean_wait(lambda, &ServiceMoments { mean: mean_service, second_moment: m2(scv_lo + scv_step) });
+        prop_assert!(hi >= lo, "E[W] decreased as variance rose: {lo} -> {hi}");
+        let floor = mg1_mean_wait(lambda, &ServiceMoments::deterministic(mean_service));
+        prop_assert!(lo >= floor - 1e-12 * floor.abs(), "deterministic service is the floor");
+    }
+}

@@ -6,6 +6,7 @@ use rand::{Rng, SeedableRng};
 use phoenix_constraints::FeasibilityIndex;
 use phoenix_traces::Trace;
 
+use crate::audit::{AuditConfig, AuditReport, InvariantAuditor, TeeSink};
 use crate::config::SimConfig;
 use crate::context::SimCtx;
 use crate::crvledger::CrvLedger;
@@ -214,6 +215,10 @@ pub struct Simulation {
     state: SimState,
     events: EventQueue,
     scheduler: Box<dyn Scheduler>,
+    /// Online invariant checker (`None` unless
+    /// [`Simulation::enable_audit`] was called — the disabled cost is one
+    /// branch per event, same discipline as the tracer and profiler).
+    auditor: Option<Box<InvariantAuditor>>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -290,6 +295,7 @@ impl Simulation {
             },
             events,
             scheduler,
+            auditor: None,
         }
     }
 
@@ -306,6 +312,29 @@ impl Simulation {
         self.state.profiler = Profiler::enabled();
     }
 
+    /// Attaches an [`InvariantAuditor`] re-checking the engine's
+    /// conservation laws after every event; the report is returned in
+    /// [`SimResult::audit`]. Auditing observes only — it draws no
+    /// randomness and writes no metrics, so the run's `digest()` is
+    /// unchanged (the parity tests pin this).
+    ///
+    /// The auditor also tees the trace stream through a record-level
+    /// checker, wrapping any sink attached so far — call
+    /// [`Simulation::set_trace_sink`] *before* this, not after (a later
+    /// `set_trace_sink` replaces the tee and silences the stream checks).
+    pub fn enable_audit(&mut self, config: AuditConfig) {
+        let auditor = Box::new(InvariantAuditor::new(config));
+        let observer = auditor.stream_observer();
+        self.state.tracer = match self.state.tracer.take_sink() {
+            Some(existing) => Tracer::with_sink(Box::new(TeeSink {
+                first: existing,
+                second: observer,
+            })),
+            None => Tracer::with_sink(observer),
+        };
+        self.auditor = Some(auditor);
+    }
+
     /// Read access to the state (tests and tools).
     pub fn state(&self) -> &SimState {
         &self.state
@@ -319,54 +348,26 @@ impl Simulation {
         self.state
     }
 
+    /// Decomposes the simulation for the reference executor, which drives
+    /// the same state and scheduler through its own naive event loop.
+    pub(crate) fn into_parts(self) -> (SimState, EventQueue, Box<dyn Scheduler>) {
+        (self.state, self.events, self.scheduler)
+    }
+
     /// Runs the simulation to completion and returns the result.
     pub fn run(mut self) -> SimResult {
         while let Some((t, event)) = self.events.pop() {
             debug_assert!(t >= self.state.now, "time must not go backwards");
+            let heartbeat = self.auditor.is_some() && matches!(event, Event::SchedulerWakeup(_));
             self.state.now = t;
             self.handle(event);
             self.drain_touched();
+            if let Some(auditor) = self.auditor.as_deref_mut() {
+                auditor.after_event(heartbeat, &self.state, &self.events);
+            }
         }
-        self.state.tracer.flush();
-        let incomplete = self
-            .state
-            .jobs
-            .iter()
-            .filter(|j| !j.is_complete() && !j.is_failed())
-            .count();
-        let lost_tasks: u64 = self
-            .state
-            .jobs
-            .iter()
-            .filter(|j| !j.is_failed())
-            .map(|j| (j.num_tasks() - j.completed_tasks()) as u64)
-            .sum();
-        let job_outcomes = self
-            .state
-            .jobs
-            .iter()
-            .map(|j| crate::metrics::JobOutcome {
-                job: j.id,
-                short: j.short,
-                user: j.user,
-                constrained: j.is_constrained(),
-                response_s: j.response_time().map(|d| d.as_secs_f64()),
-                mean_wait_s: j.mean_wait().map(|d| d.as_secs_f64()),
-                ideal_s: j.max_task_us as f64 / 1e6,
-                failed: j.is_failed(),
-            })
-            .collect();
-        SimResult {
-            scheduler: self.scheduler.name().to_string(),
-            workers: self.state.workers.len(),
-            slots_per_worker: self.state.config.slots_per_worker.max(1),
-            counters: self.state.metrics.counters,
-            metrics: self.state.metrics,
-            incomplete_jobs: incomplete,
-            lost_tasks,
-            job_outcomes,
-            profile: self.state.profiler.report(),
-        }
+        let audit = self.auditor.map(|a| a.finish());
+        finalize_result(self.state, self.scheduler.name().to_string(), audit)
     }
 
     fn handle(&mut self, event: Event) {
@@ -614,6 +615,11 @@ impl Simulation {
                     (d, self.state.config.rtt())
                 }
             };
+            if let Some(auditor) = self.auditor.as_deref_mut() {
+                // Every actual launch (not redundant-probe discards) is
+                // re-verified against the job's hard constraints.
+                auditor.check_placement(&self.state, worker, probe.job);
+            }
             let clock_factor = if self.state.config.scale_duration_by_clock {
                 let clock = self.state.feasibility.machines()[worker.index()].cpu_clock_mhz;
                 f64::from(self.state.config.reference_clock_mhz) / f64::from(clock.max(1))
@@ -660,5 +666,53 @@ impl Simulation {
             }
             return;
         }
+    }
+}
+
+/// Builds the [`SimResult`] out of a finished run's state — the shared
+/// epilogue of [`Simulation::run`] and the reference executor (the epilogue
+/// summarizes; the content it summarizes was computed independently).
+pub(crate) fn finalize_result(
+    mut state: SimState,
+    scheduler: String,
+    audit: Option<AuditReport>,
+) -> SimResult {
+    state.tracer.flush();
+    let incomplete = state
+        .jobs
+        .iter()
+        .filter(|j| !j.is_complete() && !j.is_failed())
+        .count();
+    let lost_tasks: u64 = state
+        .jobs
+        .iter()
+        .filter(|j| !j.is_failed())
+        .map(|j| (j.num_tasks() - j.completed_tasks()) as u64)
+        .sum();
+    let job_outcomes = state
+        .jobs
+        .iter()
+        .map(|j| crate::metrics::JobOutcome {
+            job: j.id,
+            short: j.short,
+            user: j.user,
+            constrained: j.is_constrained(),
+            response_s: j.response_time().map(|d| d.as_secs_f64()),
+            mean_wait_s: j.mean_wait().map(|d| d.as_secs_f64()),
+            ideal_s: j.max_task_us as f64 / 1e6,
+            failed: j.is_failed(),
+        })
+        .collect();
+    SimResult {
+        scheduler,
+        workers: state.workers.len(),
+        slots_per_worker: state.config.slots_per_worker.max(1),
+        counters: state.metrics.counters,
+        metrics: state.metrics,
+        incomplete_jobs: incomplete,
+        lost_tasks,
+        job_outcomes,
+        profile: state.profiler.report(),
+        audit,
     }
 }

@@ -100,6 +100,24 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Iterates the pending events in unspecified order (the invariant
+    /// auditor scans for in-flight probes; it never consumes).
+    pub(crate) fn pending_events(&self) -> impl Iterator<Item = &Event> {
+        self.heap.iter().map(|s| &s.event)
+    }
+
+    /// Drains every pending event, unordered, keeping the assigned
+    /// `(time, seq)` pairs — the reference executor absorbs them into its
+    /// naive flat list and re-derives the ordering itself. The sequence
+    /// counter is *not* reset, so later schedules keep numbering from where
+    /// the engine left off.
+    pub(crate) fn drain_unordered(&mut self) -> Vec<(SimTime, u64, Event)> {
+        self.heap
+            .drain()
+            .map(|s| (s.time, s.seq, s.event))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod context;
 pub mod crvledger;
@@ -74,6 +75,9 @@ pub mod time;
 pub mod trace;
 pub mod worker;
 
+pub use audit::{
+    first_trace_divergence, AuditConfig, AuditReport, InvariantAuditor, ReferenceExecutor,
+};
 pub use config::SimConfig;
 pub use context::SimCtx;
 pub use crvledger::CrvLedger;

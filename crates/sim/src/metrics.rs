@@ -6,6 +6,7 @@ use phoenix_metrics::{
     ClassifiedLatencies, ConstraintStatus, Distribution, JobClass, LatencyKey, TimeSeries,
 };
 
+use crate::audit::AuditReport;
 use crate::jobstate::JobState;
 use crate::profile::ProfileReport;
 use crate::time::{SimDuration, SimTime};
@@ -207,6 +208,11 @@ pub struct SimResult {
     /// Hot-path wall-clock profile (`None` unless profiling was enabled).
     /// Wall-clock varies run to run, so this is excluded from `digest()`.
     pub profile: Option<ProfileReport>,
+    /// Invariant-audit outcome (`None` unless
+    /// [`crate::Simulation::enable_audit`] was called). Auditing observes
+    /// without participating, so this is excluded from `digest()` — an
+    /// audited run must digest identically to an unaudited one.
+    pub audit: Option<AuditReport>,
 }
 
 impl SimResult {
@@ -429,6 +435,7 @@ mod tests {
             lost_tasks: 0,
             job_outcomes: Vec::new(),
             profile: None,
+            audit: None,
         }
     }
 
@@ -462,6 +469,7 @@ mod tests {
             incomplete_jobs: 0,
             lost_tasks: 0,
             profile: None,
+            audit: None,
             job_outcomes: vec![JobOutcome {
                 job: JobId(7),
                 short: true,

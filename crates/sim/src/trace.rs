@@ -392,6 +392,12 @@ impl Tracer {
             sink.flush();
         }
     }
+
+    /// Detaches and returns the sink, if any (the audit layer re-wraps an
+    /// existing sink in a tee).
+    pub(crate) fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
 }
 
 /// Shared view into a [`MemorySink`]'s ring buffer.

@@ -28,6 +28,10 @@ fn spec(kind: SchedulerKind, seed: u64, faults: FaultPlan) -> RunSpec {
     spec.seed = seed;
     spec.record_task_waits = false;
     spec.faults = faults;
+    // Debug builds run the chaos battery under the invariant auditor;
+    // `assert_alive` checks the report (see golden_traces.rs for the
+    // fault-free audited matrix).
+    spec.audit = cfg!(debug_assertions);
     spec
 }
 
@@ -48,6 +52,12 @@ fn assert_alive(kind: SchedulerKind, seed: u64, profile_name: &str, r: &SimResul
         r.counters.worker_crashes, r.counters.worker_recoveries,
         "{tag}: every crashed worker must recover (no outstanding work left)"
     );
+    if let Some(report) = &r.audit {
+        assert!(
+            report.is_clean(),
+            "{tag}: invariant violations under audit:\n{report}"
+        );
+    }
 }
 
 #[test]

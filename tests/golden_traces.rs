@@ -34,6 +34,10 @@ fn spec(kind: SchedulerKind, seed: u64) -> RunSpec {
     spec.gen_util = 0.7;
     spec.seed = seed;
     spec.record_task_waits = false;
+    // Debug builds replay the goldens under the invariant auditor: the
+    // digests must still match the release-blessed snapshots (the auditor
+    // is observational), and the report must come back clean.
+    spec.audit = cfg!(debug_assertions);
     spec
 }
 
@@ -107,6 +111,15 @@ fn check(kind: SchedulerKind) {
         .iter()
         .map(|&seed| (seed, run_spec(&spec(kind, seed))))
         .collect();
+    for (seed, r) in &results {
+        if let Some(report) = &r.audit {
+            assert!(
+                report.is_clean(),
+                "{} seed {seed}: invariant violations under audit:\n{report}",
+                kind.name()
+            );
+        }
+    }
     let got = render(&results);
     let path = golden_path(kind.name());
     if std::env::var_os("PHOENIX_BLESS").is_some() {

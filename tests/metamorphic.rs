@@ -1,0 +1,340 @@
+//! Metamorphic battery: transformations of a run that must not change the
+//! observable outcome (or must change it in an exactly predictable way).
+//!
+//! Each test states a relation of the form "run(T(input)) == R(run(input))"
+//! where T is a semantics-preserving transformation:
+//!
+//! * **Clock scaling at the reference clock** — enabling
+//!   `scale_duration_by_clock` on a cluster whose machines all run at
+//!   exactly `reference_clock_mhz` multiplies every duration by 1.0, so it
+//!   must be byte-identical to leaving it off.
+//! * **Uniform time shift** — translating every arrival by a constant T
+//!   shifts every event timestamp by exactly T and changes nothing else.
+//! * **Worker-ID permutation** — permuting the order machines are handed
+//!   to the engine relabels worker indices. For *unconstrained* workloads
+//!   (machine attributes behaviourally inert) the digest must be invariant
+//!   for all five schedulers. For constrained workloads on heterogeneous
+//!   clusters the digest is *expectedly* index-sensitive: placement draws
+//!   worker indices from the seeded RNG, so permuting the index→machine
+//!   mapping re-routes the same draws to different machines. That is a
+//!   property of seeded sampling, not a scheduler asymmetry; the
+//!   unconstrained case is exactly the one where symmetry is well-defined.
+//! * **Probe relabeling** — probe ids are opaque labels; burning a block
+//!   of ids before the run (shifting every id the policies ever see) must
+//!   leave the run byte-identical.
+
+use phoenix::prelude::*;
+use phoenix::sim::{SimCtx, SimState, WorkerId};
+use phoenix::traces::{Job, JobId, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ALL_KINDS: [SchedulerKind; 5] = [
+    SchedulerKind::Phoenix,
+    SchedulerKind::EagleC,
+    SchedulerKind::HawkC,
+    SchedulerKind::SparrowC,
+    SchedulerKind::YaqD,
+];
+
+const NODES: usize = 40;
+const JOBS: usize = 150;
+const UTIL: f64 = 0.7;
+const SEED: u64 = 42;
+
+fn yahoo_inputs() -> (Vec<AttributeVector>, Trace) {
+    let profile = TraceProfile::yahoo();
+    let mut rng = StdRng::seed_from_u64(1299);
+    let cluster = MachinePopulation::generate(profile.population.clone(), NODES, &mut rng);
+    let trace = TraceGenerator::new(profile, SEED).generate(JOBS, NODES, UTIL);
+    (cluster.into_machines(), trace)
+}
+
+fn build_kind(kind: SchedulerKind) -> Box<dyn Scheduler> {
+    let cutoff = TraceProfile::yahoo().short_cutoff_s();
+    match kind {
+        SchedulerKind::Phoenix => Box::new(Phoenix::new(PhoenixConfig::with_cutoff_s(cutoff))),
+        SchedulerKind::EagleC => Box::new(EagleC::new(BaselineConfig::with_cutoff_s(cutoff))),
+        SchedulerKind::HawkC => Box::new(HawkC::new(BaselineConfig::with_cutoff_s(cutoff))),
+        SchedulerKind::SparrowC => Box::new(SparrowC::new(BaselineConfig::with_cutoff_s(cutoff))),
+        SchedulerKind::YaqD => Box::new(YaqD::new(BaselineConfig::with_cutoff_s(cutoff))),
+        other => panic!("not part of the metamorphic battery: {other:?}"),
+    }
+}
+
+fn run_direct(
+    config: SimConfig,
+    machines: Vec<AttributeVector>,
+    trace: &Trace,
+    scheduler: Box<dyn Scheduler>,
+    sink: Option<MemorySink>,
+) -> SimResult {
+    let mut sim = Simulation::new(
+        config,
+        FeasibilityIndex::new(machines),
+        trace,
+        scheduler,
+        SEED,
+    );
+    if let Some(sink) = sink {
+        sim.set_trace_sink(Box::new(sink));
+    }
+    sim.enable_audit(AuditConfig::default());
+    let result = sim.run();
+    let report = result.audit.as_ref().expect("audit enabled");
+    assert!(report.is_clean(), "{}: {report}", result.scheduler);
+    result
+}
+
+/// Rounds every arrival to an exact microsecond (the engine's resolution),
+/// so a whole-second shift translates timestamps without re-rounding drift.
+fn with_exact_arrivals(trace: &Trace, shift_s: f64) -> Trace {
+    let jobs: Vec<Job> = trace
+        .jobs()
+        .iter()
+        .map(|j| {
+            let mut j = j.clone();
+            j.arrival_s = (j.arrival_s * 1e6).round() / 1e6 + shift_s;
+            j
+        })
+        .collect();
+    Trace::new(trace.name().to_string(), jobs)
+}
+
+/// `scale_duration_by_clock` is the identity on a cluster running entirely
+/// at the reference clock: same digest as leaving it off.
+#[test]
+fn clock_scaling_at_reference_clock_is_identity() {
+    let (mut machines, trace) = yahoo_inputs();
+    let reference_mhz = SimConfig::default().reference_clock_mhz;
+    for m in &mut machines {
+        m.cpu_clock_mhz = reference_mhz;
+    }
+    for kind in [SchedulerKind::Phoenix, SchedulerKind::EagleC] {
+        let plain = run_direct(
+            SimConfig::default(),
+            machines.clone(),
+            &trace,
+            build_kind(kind),
+            None,
+        );
+        let scaled_config = SimConfig {
+            scale_duration_by_clock: true,
+            ..SimConfig::default()
+        };
+        let scaled = run_direct(
+            scaled_config,
+            machines.clone(),
+            &trace,
+            build_kind(kind),
+            None,
+        );
+        assert_eq!(
+            plain.digest(),
+            scaled.digest(),
+            "{kind:?}: scaling by a 1.0 clock factor must be a no-op"
+        );
+    }
+}
+
+/// Shifting every arrival by a constant translates the whole run: same
+/// counters, same busy time, same record stream with every timestamp moved
+/// by exactly the shift, and a makespan larger by exactly the shift.
+#[test]
+fn uniform_time_shift_translates_the_run_exactly() {
+    const SHIFT_S: f64 = 10.0;
+    const SHIFT_US: u64 = 10_000_000;
+    let (machines, raw_trace) = yahoo_inputs();
+    let base_trace = with_exact_arrivals(&raw_trace, 0.0);
+    let shifted_trace = with_exact_arrivals(&raw_trace, SHIFT_S);
+
+    let base_sink = MemorySink::new(1 << 16);
+    let base_handle = base_sink.handle();
+    let base = run_direct(
+        SimConfig::default(),
+        machines.clone(),
+        &base_trace,
+        build_kind(SchedulerKind::Phoenix),
+        Some(base_sink),
+    );
+    let shifted_sink = MemorySink::new(1 << 16);
+    let shifted_handle = shifted_sink.handle();
+    let shifted = run_direct(
+        SimConfig::default(),
+        machines,
+        &shifted_trace,
+        build_kind(SchedulerKind::Phoenix),
+        Some(shifted_sink),
+    );
+
+    assert_eq!(base.counters, shifted.counters);
+    assert_eq!(base.metrics.busy_us, shifted.metrics.busy_us);
+    assert_eq!(
+        base.metrics.makespan.as_micros() + SHIFT_US,
+        shifted.metrics.makespan.as_micros(),
+        "makespan must shift by exactly the arrival shift"
+    );
+
+    let base_records = MemorySink::records(&base_handle);
+    let shifted_records = MemorySink::records(&shifted_handle);
+    assert_eq!(base_records.len(), shifted_records.len());
+    for (i, (a, b)) in base_records.iter().zip(&shifted_records).enumerate() {
+        assert_eq!(
+            a.kind_name(),
+            b.kind_name(),
+            "record {i} changed kind under a pure time shift"
+        );
+        assert_eq!(
+            a.at_us() + SHIFT_US,
+            b.at_us(),
+            "record {i} ({}) did not shift by exactly {SHIFT_US} µs",
+            a.kind_name()
+        );
+    }
+}
+
+/// For unconstrained workloads, permuting the order machines are handed to
+/// the engine must not change any scheduler's result: worker indices are
+/// then pure labels (no feasibility, no clock scaling), and all five
+/// policies must treat them symmetrically.
+#[test]
+fn worker_permutation_leaves_unconstrained_runs_invariant() {
+    let (machines, raw_trace) = yahoo_inputs();
+    let jobs: Vec<Job> = raw_trace
+        .jobs()
+        .iter()
+        .map(|j| {
+            let mut j = j.clone();
+            j.constraints = ConstraintSet::unconstrained();
+            j
+        })
+        .collect();
+    let trace = Trace::new(raw_trace.name().to_string(), jobs);
+
+    let mut permuted = machines.clone();
+    permuted.reverse();
+    permuted.rotate_left(NODES / 3);
+
+    for kind in ALL_KINDS {
+        let original = run_direct(
+            SimConfig::default(),
+            machines.clone(),
+            &trace,
+            build_kind(kind),
+            None,
+        );
+        let relabeled = run_direct(
+            SimConfig::default(),
+            permuted.clone(),
+            &trace,
+            build_kind(kind),
+            None,
+        );
+        assert_eq!(
+            original.digest(),
+            relabeled.digest(),
+            "{kind:?}: permuting worker creation order changed an unconstrained run"
+        );
+    }
+}
+
+/// Delegating wrapper that burns a block of probe ids before the first
+/// placement, shifting every probe id its inner policy ever sees.
+struct ProbeRelabeler {
+    inner: Box<dyn Scheduler>,
+    burn: u64,
+}
+
+impl Scheduler for ProbeRelabeler {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_job_arrival(&mut self, job: JobId, ctx: &mut SimCtx<'_>) {
+        while self.burn > 0 {
+            // `new_probe` only advances the id counter: no RNG, no metrics.
+            let _ = ctx.new_probe(job);
+            self.burn -= 1;
+        }
+        self.inner.on_job_arrival(job, ctx);
+    }
+
+    fn on_probe_enqueued(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        self.inner.on_probe_enqueued(worker, ctx);
+    }
+
+    fn select_probe(&mut self, worker: WorkerId, state: &SimState) -> Option<usize> {
+        self.inner.select_probe(worker, state)
+    }
+
+    fn on_task_finish(
+        &mut self,
+        worker: WorkerId,
+        job: JobId,
+        duration_us: u64,
+        ctx: &mut SimCtx<'_>,
+    ) {
+        self.inner.on_task_finish(worker, job, duration_us, ctx);
+    }
+
+    fn on_job_complete(&mut self, job: JobId, ctx: &mut SimCtx<'_>) {
+        self.inner.on_job_complete(job, ctx);
+    }
+
+    fn on_wakeup(&mut self, token: u64, ctx: &mut SimCtx<'_>) {
+        self.inner.on_wakeup(token, ctx);
+    }
+
+    fn on_probe_retry(&mut self, probe: phoenix::sim::Probe, ctx: &mut SimCtx<'_>) {
+        self.inner.on_probe_retry(probe, ctx);
+    }
+
+    fn on_worker_crash(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        self.inner.on_worker_crash(worker, ctx);
+    }
+
+    fn on_worker_recover(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
+        self.inner.on_worker_recover(worker, ctx);
+    }
+}
+
+/// Probe ids are opaque labels: offsetting every id by a large constant
+/// (by burning a block of ids up front) leaves every scheduler's run — the
+/// full record stream included — byte-identical.
+#[test]
+fn probe_relabeling_is_invisible() {
+    for kind in ALL_KINDS {
+        let (machines, trace) = yahoo_inputs();
+        let plain_sink = MemorySink::new(1 << 16);
+        let plain_handle = plain_sink.handle();
+        let plain = run_direct(
+            SimConfig::default(),
+            machines.clone(),
+            &trace,
+            build_kind(kind),
+            Some(plain_sink),
+        );
+        let relabeled_sink = MemorySink::new(1 << 16);
+        let relabeled_handle = relabeled_sink.handle();
+        let relabeled = run_direct(
+            SimConfig::default(),
+            machines,
+            &trace,
+            Box::new(ProbeRelabeler {
+                inner: build_kind(kind),
+                burn: 100_000,
+            }),
+            Some(relabeled_sink),
+        );
+        assert_eq!(
+            plain.digest(),
+            relabeled.digest(),
+            "{kind:?}: probe ids leaked into scheduling decisions"
+        );
+        let plain_records = MemorySink::records(&plain_handle);
+        let relabeled_records = MemorySink::records(&relabeled_handle);
+        if let Some(diff) = first_trace_divergence(&plain_records, &relabeled_records) {
+            panic!("{kind:?}: probe relabeling perturbed the record stream\n{diff}");
+        }
+    }
+}

@@ -54,6 +54,40 @@ fn tracing_and_profiling_leave_the_digest_untouched() {
     assert!(profiled.profile.is_some(), "profiling was requested");
 }
 
+/// The invariant auditor follows the same contract: it observes every
+/// event but perturbs nothing, so an audited run is byte-identical to the
+/// plain run — and on this pinned spec it must also find nothing.
+#[test]
+fn auditing_leaves_the_digest_untouched() {
+    let mut plain_spec = phoenix_spec();
+    plain_spec.audit = false;
+    let baseline = run_spec(&plain_spec);
+    assert!(baseline.audit.is_none(), "auditing is opt-in");
+
+    let audited = run_spec(&plain_spec.clone().with_audit());
+    assert_eq!(
+        baseline.digest(),
+        audited.digest(),
+        "auditing must not perturb the run"
+    );
+    let report = audited.audit.as_ref().expect("auditing was requested");
+    assert!(report.is_clean(), "{report}");
+    assert!(report.events_audited > 0, "the auditor saw every event");
+    assert!(
+        report.placements_checked > 0 && report.ledger_checks > 0,
+        "placement and ledger checks ran: {report}"
+    );
+
+    // Auditing composes with tracing: the tee keeps feeding the user's
+    // sink while the auditor watches the same stream.
+    let path = temp_trace_path("audit-tee");
+    let both = run_spec(&plain_spec.clone().with_trace_out(&path).with_audit());
+    assert_eq!(baseline.digest(), both.digest());
+    let body = std::fs::read_to_string(&path).expect("trace file written through the tee");
+    std::fs::remove_file(&path).ok();
+    assert!(!body.is_empty(), "tee starved the user's sink");
+}
+
 /// `--trace-out` output is line-parseable JSONL and covers every record
 /// family the contended Phoenix run exercises, with placement records in
 /// exact correspondence with the probe counters.
