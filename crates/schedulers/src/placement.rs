@@ -8,8 +8,6 @@
 //! slowdown of the dropped soft constraints, mirroring the penalty Table II
 //! associates with unsatisfied resource preferences.
 
-use std::collections::HashMap;
-
 use phoenix_constraints::{ConstraintModel, ConstraintSet, PlacementConstraint};
 use phoenix_sim::{SimCtx, SimState, WorkerId};
 use phoenix_traces::JobId;
@@ -68,11 +66,17 @@ pub fn apply_placement_preference(
         return targets;
     }
     let machines = state.feasibility.machines();
-    let mut by_rack: HashMap<u32, Vec<WorkerId>> = HashMap::new();
+    // Group by rack with a linear probe: candidate lists are a handful of
+    // workers, where a Vec beats hashing. Insertion order within a rack is
+    // preserved (it is part of the deterministic output order).
+    let mut racks: Vec<(u32, Vec<WorkerId>)> = Vec::new();
     for &w in &targets {
-        by_rack.entry(machines[w.index()].rack).or_default().push(w);
+        let rack = machines[w.index()].rack;
+        match racks.iter_mut().find(|(r, _)| *r == rack) {
+            Some((_, members)) => members.push(w),
+            None => racks.push((rack, vec![w])),
+        }
     }
-    let mut racks: Vec<(u32, Vec<WorkerId>)> = by_rack.into_iter().collect();
     match placement {
         PlacementConstraint::Spread => {
             // Deterministic rack order, then round-robin one worker per

@@ -241,15 +241,18 @@ impl<'a> SimCtx<'a> {
         mut exclude: impl FnMut(u32) -> bool,
     ) -> Vec<WorkerId> {
         let state = &mut *self.state;
+        let started = state.profiler.begin();
         let workers = &state.workers;
-        state
+        let sample: Vec<WorkerId> = state
             .feasibility
             .sample_feasible(set, k, &mut state.rng, |w| {
                 exclude(w) || !workers[w as usize].is_alive()
             })
             .into_iter()
             .map(WorkerId)
-            .collect()
+            .collect();
+        state.profiler.end(crate::ProfileScope::Sample, started);
+        sample
     }
 
     /// Samples feasible workers *ignoring aliveness* — the last-resort rung
@@ -264,12 +267,15 @@ impl<'a> SimCtx<'a> {
         k: usize,
     ) -> Vec<WorkerId> {
         let state = &mut *self.state;
-        state
+        let started = state.profiler.begin();
+        let sample: Vec<WorkerId> = state
             .feasibility
             .sample_feasible(set, k, &mut state.rng, |_| false)
             .into_iter()
             .map(WorkerId)
-            .collect()
+            .collect();
+        state.profiler.end(crate::ProfileScope::Sample, started);
+        sample
     }
 
     /// Removes the queued probe with the given id from a worker's queue,

@@ -25,15 +25,18 @@ pub enum ProfileScope {
     Reorder = 2,
     /// Work stealing on task finish.
     Steal = 3,
+    /// Feasible-worker sampling during placement (`SimCtx::sample_*`).
+    Sample = 4,
 }
 
 impl ProfileScope {
     /// All scopes, in display order.
-    pub const ALL: [ProfileScope; 4] = [
+    pub const ALL: [ProfileScope; 5] = [
         ProfileScope::Dispatch,
         ProfileScope::HeartbeatRefresh,
         ProfileScope::Reorder,
         ProfileScope::Steal,
+        ProfileScope::Sample,
     ];
 
     /// Human/table name of the scope.
@@ -43,6 +46,7 @@ impl ProfileScope {
             ProfileScope::HeartbeatRefresh => "heartbeat_refresh",
             ProfileScope::Reorder => "reorder",
             ProfileScope::Steal => "steal",
+            ProfileScope::Sample => "sample",
         }
     }
 }
@@ -68,7 +72,7 @@ impl ScopeTotals {
 #[derive(Debug, Clone)]
 pub struct Profiler {
     enabled: bool,
-    totals: [ScopeTotals; 4],
+    totals: [ScopeTotals; 5],
 }
 
 impl Default for Profiler {
@@ -82,7 +86,7 @@ impl Profiler {
     pub fn disabled() -> Self {
         Profiler {
             enabled: false,
-            totals: [ScopeTotals::default(); 4],
+            totals: [ScopeTotals::default(); 5],
         }
     }
 
@@ -90,7 +94,7 @@ impl Profiler {
     pub fn enabled() -> Self {
         Profiler {
             enabled: true,
-            totals: [ScopeTotals::default(); 4],
+            totals: [ScopeTotals::default(); 5],
         }
     }
 
@@ -139,7 +143,7 @@ impl Profiler {
 /// bench runner's `--profile` table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProfileReport {
-    totals: [ScopeTotals; 4],
+    totals: [ScopeTotals; 5],
 }
 
 impl ProfileReport {
@@ -218,6 +222,7 @@ mod tests {
         assert!(table.contains("dispatch"), "{table}");
         assert!(table.contains("heartbeat_refresh"), "{table}");
         assert!(table.contains("steal"), "{table}");
+        assert!(table.contains("sample"), "{table}");
     }
 
     #[test]
