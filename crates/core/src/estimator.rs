@@ -57,6 +57,10 @@ impl SampleWindow {
 #[derive(Debug, Clone)]
 struct WorkerStats {
     last_arrival: Option<SimTime>,
+    /// Arrivals observed *at* `last_arrival`'s instant: multi-task jobs
+    /// probe in batches, and all probes of a batch land at the same
+    /// simulated time.
+    batch: u32,
     inter_arrivals: SampleWindow,
     services: SampleWindow,
 }
@@ -65,6 +69,7 @@ impl WorkerStats {
     fn new() -> Self {
         WorkerStats {
             last_arrival: None,
+            batch: 0,
             inter_arrivals: SampleWindow::new(),
             services: SampleWindow::new(),
         }
@@ -100,12 +105,28 @@ impl WaitEstimator {
     }
 
     /// Records a probe/task arrival at `worker`.
+    ///
+    /// Same-timestamp arrivals are coalesced into one batch: a k-probe
+    /// batch after a gap of `T` contributes a single inter-arrival sample
+    /// of `T/k`, so λ tracks the per-probe arrival rate. Recording each
+    /// batch member as its own arrival (the historical behaviour) pushed a
+    /// `0.0` gap per extra probe, dragging `mean_gap` toward zero and
+    /// pinning ρ at the cap for any worker that ever received a batch.
     pub fn record_arrival(&mut self, worker: WorkerId, now: SimTime) {
         let s = &mut self.workers[worker.index()];
-        if let Some(last) = s.last_arrival {
-            s.inter_arrivals.push(now.since(last).as_secs_f64());
+        match s.last_arrival {
+            None => {
+                s.last_arrival = Some(now);
+                s.batch = 1;
+            }
+            Some(last) if now == last => s.batch += 1,
+            Some(last) => {
+                s.inter_arrivals
+                    .push(now.since(last).as_secs_f64() / f64::from(s.batch.max(1)));
+                s.last_arrival = Some(now);
+                s.batch = 1;
+            }
         }
-        s.last_arrival = Some(now);
     }
 
     /// Records a completed service of `duration` at `worker`.
@@ -216,6 +237,40 @@ mod tests {
         let wu = uniform.expected_wait(w).unwrap();
         let wb = bimodal.expected_wait(w).unwrap();
         assert!(wb > wu, "variance must increase wait: {wb} vs {wu}");
+    }
+
+    #[test]
+    fn batched_arrivals_measure_the_batch_rate() {
+        // 4-probe batches every 8 s with 1 s services: per-probe λ = 0.5/s,
+        // so ρ = E[S]·λ = 0.5 — not the saturation cap the old per-probe
+        // 0.0-gap samples produced.
+        let w = WorkerId(0);
+        let mut est = WaitEstimator::new(1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..16 {
+            for _ in 0..4 {
+                est.record_arrival(w, t);
+                est.record_service(w, SimDuration::from_secs_f64(1.0));
+            }
+            t += SimDuration::from_secs_f64(8.0);
+        }
+        let rho = est.rho(w).unwrap();
+        assert!(
+            (rho - 0.5).abs() < 1e-9,
+            "rho {rho} must match the batch arrival rate, not the cap"
+        );
+        // And the wait stays finite/moderate: ρ/(1-ρ)·E[S²]/(2E[S]) = 0.5.
+        let wait = est.expected_wait(w).unwrap().as_secs_f64();
+        assert!((wait - 0.5).abs() < 1e-6, "E[W] {wait}");
+    }
+
+    #[test]
+    fn single_arrivals_are_unaffected_by_batch_coalescing() {
+        // Distinct-timestamp arrivals must behave exactly as before the
+        // batch fix: gap/1 per arrival.
+        let mut est = WaitEstimator::new(1);
+        feed(&mut est, 2.0, 1.0, 32);
+        assert!((est.rho(WorkerId(0)).unwrap() - 0.5).abs() < 1e-9);
     }
 
     #[test]
