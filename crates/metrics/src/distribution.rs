@@ -148,24 +148,22 @@ impl Distribution {
         }
         self.ensure_sorted();
         let n = self.samples.len();
-        let step = (n as f64 / points as f64).max(1.0);
-        let mut out = Vec::with_capacity(points.min(n));
-        let mut i = step;
-        while (i as usize) <= n {
-            let idx = (i as usize).min(n) - 1;
-            out.push(CdfPoint {
-                value: self.samples[idx],
-                fraction: (idx + 1) as f64 / n as f64,
-            });
-            i += step;
-        }
-        if out.last().map(|p| p.fraction < 1.0).unwrap_or(true) {
-            out.push(CdfPoint {
-                value: self.samples[n - 1],
-                fraction: 1.0,
-            });
-        }
-        out
+        // Integer rank arithmetic: exactly `min(points, n)` ranks
+        // `ceil(j·n/m)`, strictly increasing (since n ≥ m) and ending at
+        // rank `n`, so the maximum is always the final point and the last
+        // fraction is exactly 1.0. The previous float-step accumulation
+        // (`i += step; i as usize`) drifted at non-integral `n/points`,
+        // emitting duplicate ranks and skipping others.
+        let m = points.min(n);
+        (1..=m)
+            .map(|j| {
+                let rank = (j * n).div_ceil(m);
+                CdfPoint {
+                    value: self.samples[rank - 1],
+                    fraction: rank as f64 / n as f64,
+                }
+            })
+            .collect()
     }
 
     /// Fraction of samples `<= value`; 0.0 when empty.
@@ -299,6 +297,39 @@ mod tests {
         let cdf = d.cdf(50);
         assert!(cdf.len() <= 3);
         assert_eq!(cdf.last().unwrap().fraction, 1.0);
+    }
+
+    #[test]
+    fn cdf_ranks_are_strictly_increasing_for_adversarial_shapes() {
+        // Non-integral n/points pairs that made the float-step CDF emit
+        // duplicate ranks (and skip others) as the accumulated error
+        // crossed integer boundaries.
+        for (n, points) in [
+            (1_000usize, 3usize),
+            (1_000, 7),
+            (12_345, 999),
+            (100_000, 333),
+            (97, 96),
+            (98, 97),
+            (10, 3),
+            (5, 50),
+        ] {
+            let mut d: Distribution = (0..n).map(|i| i as f64).collect();
+            let cdf = d.cdf(points);
+            assert_eq!(cdf.len(), points.min(n), "n={n} points={points}");
+            for w in cdf.windows(2) {
+                assert!(
+                    w[1].fraction > w[0].fraction,
+                    "duplicate/regressing rank at n={n} points={points}: \
+                     {} then {}",
+                    w[0].fraction,
+                    w[1].fraction
+                );
+            }
+            let last = cdf.last().unwrap();
+            assert_eq!(last.fraction, 1.0, "n={n} points={points}");
+            assert_eq!(last.value, (n - 1) as f64, "max always included");
+        }
     }
 
     #[test]
