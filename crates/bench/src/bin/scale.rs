@@ -1,0 +1,217 @@
+//! Paper-scale wall-clock benchmark: end-to-end run cost at the paper's
+//! absolute cluster sizes (Yahoo 5,000 nodes, Cloudera/Google 15,000) over
+//! a growing job ladder, with generation, index construction and
+//! simulation timed separately and the engine's hot paths profiled.
+//!
+//! Unlike the figure binaries this bin defaults to node factor **1.0**
+//! (the paper's own node counts); `--scale smoke|quick|full` still applies
+//! the usual reduced factors for CI smoke runs. `--jobs N` sets the top of
+//! the job ladder (default 50,000) and `--seeds N` repeats each point.
+//!
+//! Results go to stdout as a table and to `BENCH_scale.json`
+//! (`--out <path>` to redirect) as hand-rolled JSON:
+//!
+//! ```json
+//! {"version": 1, "node_factor": 1.0,
+//!  "runs": [{"profile": "yahoo", "scheduler": "phoenix", "nodes": 5000,
+//!            "jobs": 50000, "seed": 1, "cluster_gen_s": ..,
+//!            "trace_gen_s": .., "index_build_s": .., "sim_s": ..,
+//!            "total_s": .., "tasks_completed": .., "tasks_per_sim_s": ..,
+//!            "makespan_s": .., "utilization": .., "digest": "0x..",
+//!            "hot_paths": {"dispatch": {"calls": .., "total_ns": ..}, ..}}]}
+//! ```
+//!
+//! The digest is the deterministic run digest: two invocations at the same
+//! scale must agree on every digest even though the timings differ.
+
+use std::fmt::Write as _;
+
+use phoenix_bench::{run_spec_timed, RunSpec, Scale, SchedulerKind};
+use phoenix_metrics::Table;
+use phoenix_sim::ProfileScope;
+use phoenix_traces::TraceProfile;
+
+/// Job counts ladder: quarters of the max, deduplicated, ascending.
+fn ladder(max_jobs: usize) -> Vec<usize> {
+    let mut steps: Vec<usize> = [max_jobs / 8, max_jobs / 4, max_jobs / 2, max_jobs]
+        .into_iter()
+        .filter(|&j| j > 0)
+        .collect();
+    steps.dedup();
+    steps
+}
+
+struct ScaleRun {
+    spec: RunSpec,
+    result: phoenix_sim::SimResult,
+    timing: phoenix_bench::RunTiming,
+}
+
+fn json_run(out: &mut String, run: &ScaleRun) {
+    let r = &run.result;
+    let t = &run.timing;
+    let tasks = r.counters.tasks_completed;
+    let tasks_per_sim_s = if t.sim_s > 0.0 {
+        tasks as f64 / t.sim_s
+    } else {
+        0.0
+    };
+    write!(
+        out,
+        "    {{\"profile\": \"{}\", \"scheduler\": \"{}\", \"nodes\": {}, \"jobs\": {}, \
+         \"seed\": {}, \"cluster_gen_s\": {:.4}, \"trace_gen_s\": {:.4}, \
+         \"index_build_s\": {:.4}, \"sim_s\": {:.4}, \"total_s\": {:.4}, \
+         \"tasks_completed\": {}, \"tasks_per_sim_s\": {:.0}, \"makespan_s\": {:.3}, \
+         \"utilization\": {:.4}, \"digest\": \"{:#018x}\", \"hot_paths\": {{",
+        run.spec.profile.name,
+        run.spec.scheduler.name(),
+        run.spec.nodes,
+        run.spec.jobs,
+        run.spec.seed,
+        t.cluster_gen_s,
+        t.trace_gen_s,
+        t.index_build_s,
+        t.sim_s,
+        t.total_s(),
+        tasks,
+        tasks_per_sim_s,
+        r.metrics.makespan.as_secs_f64(),
+        r.utilization(),
+        r.digest(),
+    )
+    .expect("writing to String cannot fail");
+    if let Some(profile) = &r.profile {
+        for (i, scope) in ProfileScope::ALL.iter().enumerate() {
+            let totals = profile.scope(*scope);
+            write!(
+                out,
+                "{}\"{}\": {{\"calls\": {}, \"total_ns\": {}}}",
+                if i == 0 { "" } else { ", " },
+                scope.name(),
+                totals.calls,
+                totals.total_ns,
+            )
+            .expect("writing to String cannot fail");
+        }
+    }
+    out.push_str("}}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::from_args();
+    // This bin's default is the paper's absolute node counts, not the
+    // figure binaries' quick preset; an explicit --scale keeps its factor.
+    if !args.iter().any(|a| a == "--scale") {
+        scale.node_factor = 1.0;
+    }
+    if !args.iter().any(|a| a == "--jobs") {
+        scale.jobs = 50_000;
+    }
+    if !args.iter().any(|a| a == "--seeds") {
+        scale.seeds = 1;
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_scale.json")
+        .to_string();
+
+    println!(
+        "== scale (node factor {}, job ladder to {}, {} seed(s)) ==",
+        scale.node_factor, scale.jobs, scale.seeds
+    );
+    let mut table = Table::new(vec![
+        "profile",
+        "nodes",
+        "jobs",
+        "seed",
+        "gen (s)",
+        "index (s)",
+        "sim (s)",
+        "total (s)",
+        "tasks/s",
+        "util %",
+    ]);
+    let mut runs: Vec<ScaleRun> = Vec::new();
+    for profile in [
+        TraceProfile::yahoo(),
+        TraceProfile::cloudera(),
+        TraceProfile::google(),
+    ] {
+        let nodes = scale.nodes_for(&profile);
+        // The 15k-node profiles get half the job ladder of Yahoo's 5k so
+        // one full invocation stays within the same wall-clock budget.
+        let max_jobs = if profile.default_nodes > TraceProfile::yahoo().default_nodes {
+            scale.jobs / 2
+        } else {
+            scale.jobs
+        };
+        for jobs in ladder(max_jobs.max(1)) {
+            for seed in scale.seed_list() {
+                let mut spec =
+                    RunSpec::new(profile.clone(), SchedulerKind::Phoenix).with_seed(seed);
+                spec.nodes = nodes;
+                spec.gen_nodes = nodes;
+                spec.jobs = jobs;
+                spec.gen_util = 0.9;
+                spec.record_task_waits = false;
+                spec.faults = scale.faults;
+                spec = spec.with_profiling();
+                let (result, timing) = run_spec_timed(&spec);
+                let tasks = result.counters.tasks_completed;
+                table.add_row(vec![
+                    profile.name.to_string(),
+                    nodes.to_string(),
+                    jobs.to_string(),
+                    seed.to_string(),
+                    format!("{:.2}", timing.cluster_gen_s + timing.trace_gen_s),
+                    format!("{:.3}", timing.index_build_s),
+                    format!("{:.2}", timing.sim_s),
+                    format!("{:.2}", timing.total_s()),
+                    format!("{:.0}", tasks as f64 / timing.sim_s.max(1e-9)),
+                    format!("{:.1}", result.utilization() * 100.0),
+                ]);
+                runs.push(ScaleRun {
+                    spec,
+                    result,
+                    timing,
+                });
+            }
+        }
+    }
+    println!("{table}");
+
+    // Hot-path share of the largest run per profile (where it matters).
+    for profile in ["yahoo", "cloudera", "google"] {
+        if let Some(run) = runs
+            .iter()
+            .filter(|r| r.spec.profile.name == profile)
+            .max_by_key(|r| r.spec.jobs)
+        {
+            if let Some(p) = &run.result.profile {
+                println!("hot paths ({} {} jobs):\n{}", profile, run.spec.jobs, p);
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    writeln!(
+        json,
+        "  \"version\": 1,\n  \"node_factor\": {},\n  \"gen_util\": 0.9,\n  \"runs\": [",
+        scale.node_factor
+    )
+    .expect("writing to String cannot fail");
+    for (i, run) in runs.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json_run(&mut json, run);
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path} ({} runs)", runs.len());
+}

@@ -209,26 +209,63 @@ impl RunSpec {
     }
 }
 
+/// Wall-clock breakdown of one [`run_spec_timed`] execution, in seconds.
+///
+/// Generation and simulation are timed separately so the scale benchmark
+/// (`--bin scale`) can attribute end-to-end cost; none of this feeds the
+/// simulation itself, which stays deterministic in the seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunTiming {
+    /// Generating the machine population.
+    pub cluster_gen_s: f64,
+    /// Generating the job trace.
+    pub trace_gen_s: f64,
+    /// Building the posting-list feasibility index over the cluster.
+    pub index_build_s: f64,
+    /// Executing the simulation.
+    pub sim_s: f64,
+}
+
+impl RunTiming {
+    /// End-to-end seconds (generation + index build + simulation).
+    pub fn total_s(&self) -> f64 {
+        self.cluster_gen_s + self.trace_gen_s + self.index_build_s + self.sim_s
+    }
+}
+
 /// Executes one run: generates the cluster and trace, simulates, returns
 /// the result.
 pub fn run_spec(spec: &RunSpec) -> SimResult {
+    run_spec_timed(spec).0
+}
+
+/// [`run_spec`] with a wall-clock breakdown of the phases.
+pub fn run_spec_timed(spec: &RunSpec) -> (SimResult, RunTiming) {
+    let mut timing = RunTiming::default();
     let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17));
+    let started = std::time::Instant::now();
     let cluster =
         MachinePopulation::generate(spec.profile.population.clone(), spec.nodes, &mut rng);
+    timing.cluster_gen_s = started.elapsed().as_secs_f64();
+    let started = std::time::Instant::now();
     let trace = TraceGenerator::new(spec.profile.clone(), spec.seed).generate(
         spec.jobs,
         spec.gen_nodes,
         spec.gen_util,
     );
+    timing.trace_gen_s = started.elapsed().as_secs_f64();
     let cutoff = spec.profile.short_cutoff_s();
     let config = SimConfig {
         record_task_waits: spec.record_task_waits,
         faults: spec.faults,
         ..SimConfig::default()
     };
+    let started = std::time::Instant::now();
+    let index = FeasibilityIndex::new(cluster.into_machines());
+    timing.index_build_s = started.elapsed().as_secs_f64();
     let mut sim = Simulation::new(
         config,
-        FeasibilityIndex::new(cluster.into_machines()),
+        index,
         &trace,
         spec.scheduler.build(cutoff),
         spec.seed,
@@ -245,7 +282,10 @@ pub fn run_spec(spec: &RunSpec) -> SimResult {
     if spec.audit || std::env::var_os("PHOENIX_AUDIT").is_some() {
         sim.enable_audit(AuditConfig::default());
     }
-    sim.run()
+    let started = std::time::Instant::now();
+    let result = sim.run();
+    timing.sim_s = started.elapsed().as_secs_f64();
+    (result, timing)
 }
 
 /// Executes a batch of runs in parallel (bounded by available CPU cores),
