@@ -141,6 +141,7 @@ fn bench_monitor_refresh(c: &mut Criterion) {
             id: ProbeId(i),
             job: phoenix_traces::JobId((i % n_jobs) as u32),
             bound_duration_us: None,
+            est_duration_us: state.jobs[(i % n_jobs) as usize].estimated_task_us,
             slowdown: 1.0,
             enqueued_at: SimTime::ZERO,
             bypass_count: 0,

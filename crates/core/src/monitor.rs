@@ -234,6 +234,7 @@ mod tests {
                 id: ProbeId(u64::from(job)),
                 job: JobId(job),
                 bound_duration_us: None,
+                est_duration_us: state.jobs[job as usize].estimated_task_us,
                 slowdown: 1.0,
                 enqueued_at: SimTime::ZERO,
                 bypass_count: 0,

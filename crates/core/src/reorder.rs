@@ -23,6 +23,19 @@ fn demands_dimension(state: &SimState, probe: &phoenix_sim::Probe, dim: CrvDimen
 ///
 /// Mirrors `CRV_based_reordering` in Algorithm 1: `Max_CRV ← getMax(CRV)`,
 /// promote tasks matching the max dimension, bounded by the slack check.
+///
+/// The pass is O(queue + moved items): instead of re-scanning
+/// `[insert_pos, i)` for the last pinned barrier per hot probe (the
+/// historical quadratic walk, kept as a reference oracle by the
+/// `reorder_equivalence` proptest suite), a single forward walk maintains
+/// the barrier frontier incrementally. Two facts keep it exact:
+///
+/// * a promotion always lands *after* the last known barrier, so the
+///   rotation never shifts a previously recorded barrier; and
+/// * the only barriers a promotion can create are among the probes it
+///   bypasses (their bypass budget may run out mid-pass), which
+///   [`phoenix_sim::Worker::promote_tracking_pins`] reports from the same
+///   loop that increments them.
 pub fn crv_reorder_queue(
     state: &mut SimState,
     worker: WorkerId,
@@ -38,35 +51,40 @@ pub fn crv_reorder_queue(
     // `insert_pos`: where the next hot probe should land (just after the
     // hot prefix built so far).
     let mut insert_pos = 0usize;
+    // Barrier frontier: one past the last pinned (slack-exhausted) probe
+    // seen so far. A hot probe may only land just after the last pinned
+    // barrier; barriers at or before `insert_pos` are neutralized by the
+    // `max` below, exactly like the reference walk ignoring `j <
+    // insert_pos`.
+    let mut barrier = 0usize;
     for i in 0..len {
-        let is_hot = {
+        let (is_hot, is_pinned) = {
             let probe = &state.workers[worker.index()].queue()[i];
             // Only speculative (short-job) probes are promoted: Phoenix
             // must not accelerate long jobs at short jobs' expense (Fig. 8
             // shows long-job response times unchanged).
-            !probe.is_bound() && demands_dimension(state, probe, hot_dim)
+            (
+                !probe.is_bound() && demands_dimension(state, probe, hot_dim),
+                probe.bypass_count >= slack_threshold,
+            )
         };
         if !is_hot {
+            if is_pinned {
+                barrier = i + 1;
+            }
             continue;
         }
         if i == insert_pos {
             insert_pos += 1;
             continue;
         }
-        // Pinned (slack-exhausted) probes between the insertion point and
-        // the hot probe act as barriers: the hot probe may only land just
-        // after the last pinned barrier.
-        let mut target = insert_pos;
-        {
-            let queue = state.workers[worker.index()].queue();
-            for (j, p) in queue.iter().enumerate().take(i).skip(insert_pos) {
-                if p.bypass_count >= slack_threshold {
-                    target = j + 1;
-                }
-            }
-        }
+        let target = insert_pos.max(barrier);
         if target < i {
-            state.workers[worker.index()].promote(i, target);
+            let (_, newly_pinned) =
+                state.workers[worker.index()].promote_tracking_pins(i, target, slack_threshold);
+            if let Some(pos) = newly_pinned {
+                barrier = pos + 1;
+            }
             state.metrics.counters.crv_reordered_tasks += 1;
             promoted += 1;
             insert_pos = target + 1;
@@ -113,9 +131,7 @@ pub fn crv_insert_tail(
     };
     let probe_rank = |state: &SimState, p: &phoenix_sim::Probe| -> (u8, u64) {
         let hot = hot_ratio > 0.0 && !p.is_bound() && demands_dimension(state, p, hot_dim);
-        let est = p
-            .bound_duration_us
-            .unwrap_or_else(|| state.jobs[p.job.0 as usize].estimated_task_us);
+        let est = p.estimate_us();
         (u8::from(!hot), est) // hot probes rank lower (earlier)
     };
     let new_rank = probe_rank(state, &state.workers[worker.index()].queue()[tail]);
@@ -202,6 +218,7 @@ mod tests {
                 id: ProbeId(i as u64),
                 job: JobId(i as u32),
                 bound_duration_us: None,
+                est_duration_us: 1_000_000,
                 slowdown: 1.0,
                 enqueued_at: SimTime::ZERO,
                 bypass_count: 0,

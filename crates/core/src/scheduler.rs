@@ -201,24 +201,6 @@ impl Phoenix {
         }
     }
 
-    /// Estimated wait of the probe at `index` of `worker`'s queue: running
-    /// remainder plus the estimated durations of everything ahead of it.
-    fn queue_wait_ahead_us(ctx: &SimCtx<'_>, worker: WorkerId, index: usize) -> u64 {
-        let state = ctx.state();
-        let w = &state.workers[worker.index()];
-        let mut total: u64 = w
-            .running_tasks()
-            .iter()
-            .map(|t| t.finish_at.since(state.now).as_micros())
-            .sum();
-        for probe in w.queue().iter().take(index) {
-            total += probe
-                .bound_duration_us
-                .unwrap_or_else(|| state.jobs[probe.job.0 as usize].estimated_task_us);
-        }
-        total
-    }
-
     /// Dynamic probe rescheduling: during contention, constrained probes
     /// stuck deep in over-threshold queues are recalled and re-sent to the
     /// feasible worker with the least estimated wait (§VII-B: Phoenix
@@ -232,21 +214,34 @@ impl Phoenix {
                 continue;
             }
             // Collect migration candidates: speculative constrained probes
-            // whose estimated wait here exceeds the threshold.
-            let candidates: Vec<(phoenix_sim::ProbeId, phoenix_traces::JobId, u64)> = ctx
-                .worker(worker)
-                .queue()
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| {
-                    !p.is_bound()
+            // whose estimated wait here exceeds the threshold. One pass
+            // accumulates the prefix wait (running remainder plus estimated
+            // durations ahead) instead of re-walking the prefix per
+            // candidate — same values as `queue_wait_ahead_us` at each
+            // index, O(queue) per worker instead of O(queue²).
+            let candidates: Vec<(phoenix_sim::ProbeId, phoenix_traces::JobId, u64)> = {
+                let state = ctx.state();
+                let w = &state.workers[worker.index()];
+                let mut ahead_us: u64 = w
+                    .running_tasks()
+                    .iter()
+                    .map(|t| t.finish_at.since(state.now).as_micros())
+                    .sum();
+                let mut candidates = Vec::new();
+                for p in w.queue() {
+                    let job = &state.jobs[p.job.0 as usize];
+                    if !p.is_bound()
                         && p.migrations < MAX_MIGRATIONS
-                        && ctx.job(p.job).is_constrained()
-                        && ctx.job(p.job).has_pending()
-                })
-                .map(|(idx, p)| (p.id, p.job, Self::queue_wait_ahead_us(ctx, worker, idx)))
-                .filter(|&(_, _, wait)| wait > qwait_us)
-                .collect();
+                        && job.is_constrained()
+                        && job.has_pending()
+                        && ahead_us > qwait_us
+                    {
+                        candidates.push((p.id, p.job, ahead_us));
+                    }
+                    ahead_us += p.estimate_us();
+                }
+                candidates
+            };
             for (probe_id, job, wait_here) in candidates {
                 let set = ctx.job(job).effective_constraints.clone();
                 let alternatives =

@@ -97,6 +97,7 @@ fn apply_op(
                 id: ProbeId(*next_probe),
                 job: JobId((u64::from(b) % n_jobs) as u32),
                 bound_duration_us: if op == 1 { Some(1_000) } else { None },
+                est_duration_us: state.jobs[(u64::from(b) % n_jobs) as usize].estimated_task_us,
                 slowdown: 1.0,
                 enqueued_at: SimTime::ZERO,
                 bypass_count: 0,
@@ -115,6 +116,7 @@ fn apply_op(
                 id: ProbeId(*next_probe),
                 job: JobId((u64::from(b) % n_jobs) as u32),
                 bound_duration_us: None,
+                est_duration_us: state.jobs[(u64::from(b) % n_jobs) as usize].estimated_task_us,
                 slowdown: 1.0,
                 enqueued_at: SimTime::ZERO,
                 bypass_count: 0,

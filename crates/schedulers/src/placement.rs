@@ -197,16 +197,15 @@ pub fn send_speculative_probes(
 /// Estimated work queued at a worker, microseconds: remaining runtime of the
 /// executing task, plus bound task durations, plus the estimated durations
 /// of speculative probes.
+///
+/// O(slots), not O(queue): both queue components are aggregates the worker
+/// maintains incrementally ([`phoenix_sim::Worker::queued_bound_work_us`],
+/// [`phoenix_sim::Worker::queued_spec_est_us`]).
 pub fn estimated_queue_work_us(state: &SimState, worker: WorkerId) -> u64 {
     let w = &state.workers[worker.index()];
-    let mut total = w.queued_bound_work_us();
+    let mut total = w.queued_bound_work_us() + w.queued_spec_est_us();
     for running in w.running_tasks() {
         total += running.finish_at.since(state.now).as_micros();
-    }
-    for probe in w.queue() {
-        if probe.bound_duration_us.is_none() {
-            total += state.jobs[probe.job.0 as usize].estimated_task_us;
-        }
     }
     total
 }

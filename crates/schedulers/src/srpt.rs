@@ -13,12 +13,11 @@
 use phoenix_sim::{SimState, Worker, WorkerId};
 
 /// Estimated service time of a queued probe, microseconds: the bound task's
-/// duration for early-bound probes, the job's estimated task duration for
-/// speculative ones.
+/// duration for early-bound probes, the job's estimated task duration
+/// (snapshotted on the probe at creation) for speculative ones.
 pub fn probe_estimate_us(state: &SimState, probe: &phoenix_sim::Probe) -> u64 {
-    probe
-        .bound_duration_us
-        .unwrap_or_else(|| state.jobs[probe.job.0 as usize].estimated_task_us)
+    let _ = state; // estimate now travels on the probe; signature kept stable
+    probe.estimate_us()
 }
 
 /// Applies SRPT insertion to the tail probe of `worker`'s queue: promotes it
@@ -44,9 +43,7 @@ pub fn srpt_insert_tail(state: &mut SimState, worker: WorkerId, slack_threshold:
         let w = &state.workers[worker.index()];
         while to > 0 {
             let prev = &w.queue()[to - 1];
-            let prev_est = prev
-                .bound_duration_us
-                .unwrap_or_else(|| state.jobs[prev.job.0 as usize].estimated_task_us);
+            let prev_est = prev.estimate_us();
             if prev_est > new_est && prev.bypass_count < slack_threshold {
                 to -= 1;
             } else {
@@ -62,9 +59,7 @@ pub fn srpt_insert_tail(state: &mut SimState, worker: WorkerId, slack_threshold:
         // probe: the predecessor was longer but exhausted.
         let w = &state.workers[worker.index()];
         let prev = &w.queue()[tail - 1];
-        let prev_est = prev
-            .bound_duration_us
-            .unwrap_or_else(|| state.jobs[prev.job.0 as usize].estimated_task_us);
+        let prev_est = prev.estimate_us();
         if prev_est > new_est && prev.bypass_count >= slack_threshold {
             state.metrics.counters.starvation_suppressions += 1;
         }
@@ -134,6 +129,7 @@ mod tests {
             id: ProbeId(job as u64),
             job: JobId(job),
             bound_duration_us: None,
+            est_duration_us: state.jobs[job as usize].estimated_task_us,
             slowdown: 1.0,
             enqueued_at: SimTime::ZERO,
             bypass_count: 0,

@@ -49,6 +49,7 @@ proptest! {
                 id: ProbeId(i as u64),
                 job: JobId(i as u32),
                 bound_duration_us: None,
+                est_duration_us: state.jobs[i].estimated_task_us,
                 slowdown: 1.0,
                 enqueued_at: SimTime::ZERO,
                 bypass_count: 0,

@@ -109,6 +109,7 @@ impl<'a> SimCtx<'a> {
             id: self.state.next_probe_id(),
             job,
             bound_duration_us: None,
+            est_duration_us: self.state.jobs[job.0 as usize].estimated_task_us,
             slowdown: 1.0,
             enqueued_at: self.state.now,
             bypass_count: 0,

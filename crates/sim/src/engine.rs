@@ -550,6 +550,7 @@ impl Simulation {
                 id: self.state.next_probe_id(),
                 job: task.job,
                 bound_duration_us,
+                est_duration_us: self.state.jobs[job_idx].estimated_task_us,
                 slowdown: task.slowdown,
                 enqueued_at: self.state.now,
                 bypass_count: 0,

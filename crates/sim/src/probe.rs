@@ -33,6 +33,11 @@ pub struct Probe {
     pub job: JobId,
     /// `Some(duration)` for early-bound tasks.
     pub bound_duration_us: Option<u64>,
+    /// Scheduler-visible estimated task duration of the owning job,
+    /// microseconds, snapshotted at probe creation (the job's estimate is
+    /// immutable after trace load). Carrying it on the probe lets ranking
+    /// and queue-work aggregation run without chasing the job table.
+    pub est_duration_us: u64,
     /// Execution-time multiplier applied at launch (>1 when the admission
     /// controller relaxed a soft constraint for this placement).
     pub slowdown: f64,
@@ -56,6 +61,13 @@ impl Probe {
     /// Whether the probe carries its task with it (early binding).
     pub fn is_bound(&self) -> bool {
         self.bound_duration_us.is_some()
+    }
+
+    /// Estimated service time, microseconds: the bound task's duration for
+    /// early-bound probes, the job's estimated task duration (snapshotted
+    /// at creation) for speculative ones.
+    pub fn estimate_us(&self) -> u64 {
+        self.bound_duration_us.unwrap_or(self.est_duration_us)
     }
 }
 
@@ -85,6 +97,7 @@ mod tests {
             id: ProbeId(1),
             job: JobId(0),
             bound_duration_us: None,
+            est_duration_us: 1,
             slowdown: 1.0,
             enqueued_at: SimTime::ZERO,
             bypass_count: 0,
@@ -102,6 +115,7 @@ mod tests {
             id: ProbeId(2),
             job: JobId(3),
             bound_duration_us: Some(5),
+            est_duration_us: 1,
             slowdown: 1.0,
             enqueued_at: SimTime::ZERO,
             bypass_count: 0,

@@ -64,6 +64,11 @@ pub struct Worker {
     /// Sum of bound task durations currently queued, microseconds (an
     /// exact component of estimated queue work).
     queued_bound_work_us: u64,
+    /// Sum of the snapshotted estimated durations of queued *speculative*
+    /// probes, microseconds — with [`Worker::queued_bound_work_us`] this
+    /// makes estimated-queue-work queries O(1) instead of an O(queue) walk
+    /// through the job table.
+    queued_spec_est_us: u64,
     /// Whether the worker is up. Crashed workers accept no probes and run
     /// no tasks until they recover.
     alive: bool,
@@ -94,6 +99,7 @@ impl Worker {
             queue: Vec::new(),
             busy_us: 0,
             queued_bound_work_us: 0,
+            queued_spec_est_us: 0,
             alive: true,
         }
     }
@@ -206,6 +212,16 @@ impl Worker {
         self.queue.iter().filter_map(|p| p.bound_duration_us).sum()
     }
 
+    /// Recomputes the speculative-estimate aggregate directly from the
+    /// queue.
+    pub fn recomputed_spec_est_us(&self) -> u64 {
+        self.queue
+            .iter()
+            .filter(|p| !p.is_bound())
+            .map(|p| p.est_duration_us)
+            .sum()
+    }
+
     /// Asserts the cached [`Worker::queued_bound_work_us`] aggregate still
     /// matches the queue contents. The engine invokes this (debug builds
     /// only) before dispatching a touched worker, catching policies that
@@ -222,12 +238,20 @@ impl Worker {
              (a policy mutated bound_duration_us via queue_mut?)",
             self.queued_bound_work_us, recomputed
         );
+        let spec = self.recomputed_spec_est_us();
+        assert_eq!(
+            self.queued_spec_est_us, spec,
+            "queued_spec_est_us desynced: cached {} vs recomputed {} \
+             (a policy mutated est_duration_us via queue_mut?)",
+            self.queued_spec_est_us, spec
+        );
     }
 
     /// Appends a probe to the tail of the queue.
     pub fn enqueue(&mut self, probe: Probe) {
-        if let Some(d) = probe.bound_duration_us {
-            self.queued_bound_work_us += d;
+        match probe.bound_duration_us {
+            Some(d) => self.queued_bound_work_us += d,
+            None => self.queued_spec_est_us += probe.est_duration_us,
         }
         self.queue.push(probe);
     }
@@ -239,8 +263,9 @@ impl Worker {
     /// Panics if `index` is out of bounds.
     pub fn remove_probe(&mut self, index: usize) -> Probe {
         let probe = self.queue.remove(index);
-        if let Some(d) = probe.bound_duration_us {
-            self.queued_bound_work_us -= d;
+        match probe.bound_duration_us {
+            Some(d) => self.queued_bound_work_us -= d,
+            None => self.queued_spec_est_us -= probe.est_duration_us,
         }
         probe
     }
@@ -270,6 +295,12 @@ impl Worker {
         self.queued_bound_work_us
     }
 
+    /// Sum of snapshotted estimated durations of queued speculative probes,
+    /// microseconds.
+    pub fn queued_spec_est_us(&self) -> u64 {
+        self.queued_spec_est_us
+    }
+
     /// Total busy time accumulated, microseconds.
     pub fn busy_us(&self) -> u64 {
         self.busy_us
@@ -290,16 +321,37 @@ impl Worker {
     ///
     /// Panics if `from` is out of bounds or `to > from`.
     pub fn promote(&mut self, from: usize, to: usize) -> usize {
+        self.promote_tracking_pins(from, to, u32::MAX).0
+    }
+
+    /// [`Worker::promote`] that additionally reports the highest
+    /// post-rotation position of a bypassed probe whose bypass count is at
+    /// or above `slack_threshold` *after* the increment. CRV reordering
+    /// uses this to keep its pinned-barrier frontier exact without
+    /// re-scanning the queue: a probe pinned *by this very promotion* is a
+    /// barrier for later promotions in the same pass.
+    pub fn promote_tracking_pins(
+        &mut self,
+        from: usize,
+        to: usize,
+        slack_threshold: u32,
+    ) -> (usize, Option<usize>) {
         assert!(from < self.queue.len(), "promote index out of bounds");
         assert!(to <= from, "promote must move toward the front");
         if from == to {
-            return 0;
+            return (0, None);
         }
-        for p in &mut self.queue[to..from] {
+        let mut last_pinned = None;
+        for (j, p) in self.queue[to..from].iter_mut().enumerate() {
             p.bypass_count += 1;
+            if p.bypass_count >= slack_threshold {
+                // The probe at absolute index `to + j` lands at `to + j + 1`
+                // after the rotation below.
+                last_pinned = Some(to + j + 1);
+            }
         }
         self.queue[to..=from].rotate_right(1);
-        from - to
+        (from - to, last_pinned)
     }
 
     /// Inserts a probe at the *front* of the queue without touching bypass
@@ -309,8 +361,9 @@ impl Worker {
     /// finished a task of a job immediately continues with that job's next
     /// task — a continuation of service, not a reordering.
     pub fn enqueue_front(&mut self, probe: Probe) {
-        if let Some(d) = probe.bound_duration_us {
-            self.queued_bound_work_us += d;
+        match probe.bound_duration_us {
+            Some(d) => self.queued_bound_work_us += d,
+            None => self.queued_spec_est_us += probe.est_duration_us,
         }
         self.queue.insert(0, probe);
     }
@@ -326,6 +379,7 @@ mod tests {
             id: ProbeId(id),
             job: JobId(0),
             bound_duration_us: bound,
+            est_duration_us: 7,
             slowdown: 1.0,
             enqueued_at: SimTime::ZERO,
             bypass_count: 0,

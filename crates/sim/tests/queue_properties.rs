@@ -33,6 +33,7 @@ fn probe(id: u64, bound: Option<u64>) -> Probe {
         id: ProbeId(id),
         job: JobId(0),
         bound_duration_us: bound,
+        est_duration_us: 1,
         slowdown: 1.0,
         enqueued_at: SimTime::ZERO,
         bypass_count: 0,
