@@ -230,6 +230,9 @@ pub struct FeasibilityIndex {
     single_cache: RefCell<HashMap<Constraint, Arc<[u32]>>>,
     /// Reusable duplicate-guard bitmask for large sampling requests.
     sample_mask: RefCell<Vec<u64>>,
+    /// Reusable exact-phase candidate pool (avoids an allocation per
+    /// selective sampling call).
+    sample_pool: RefCell<Vec<u32>>,
 }
 
 impl FeasibilityIndex {
@@ -249,6 +252,7 @@ impl FeasibilityIndex {
             set_cache: RefCell::new(HashMap::new()),
             single_cache: RefCell::new(HashMap::new()),
             sample_mask: RefCell::new(Vec::new()),
+            sample_pool: RefCell::new(Vec::new()),
         }
     }
 
@@ -479,20 +483,18 @@ impl FeasibilityIndex {
         // Exact phase: sample without replacement from the cached feasible
         // list.
         let feasible = self.feasible(set);
-        let mut pool: Vec<u32> = feasible
-            .iter()
-            .copied()
-            .filter(|&w| {
-                let dup = if use_mask {
-                    mask[w as usize >> 6] >> (w & 63) & 1 != 0
-                } else {
-                    picked.contains(&w)
-                };
-                !dup && !exclude(w)
-            })
-            .collect();
+        let mut pool = self.sample_pool.borrow_mut();
+        pool.clear();
+        pool.extend(feasible.iter().copied().filter(|&w| {
+            let dup = if use_mask {
+                mask[w as usize >> 6] >> (w & 63) & 1 != 0
+            } else {
+                picked.contains(&w)
+            };
+            !dup && !exclude(w)
+        }));
         pool.shuffle(rng);
-        for w in pool {
+        for &w in pool.iter() {
             if picked.len() == k {
                 break;
             }

@@ -11,6 +11,8 @@
 //! tasks); λ ← Avg(inter arrival rate)"). Statistics come from sliding
 //! windows of the most recent observations per worker.
 
+use std::cell::Cell;
+
 use phoenix_sim::{SimDuration, SimTime, WorkerId};
 
 /// Window length: how many recent observations feed each estimate.
@@ -63,6 +65,13 @@ struct WorkerStats {
     batch: u32,
     inter_arrivals: SampleWindow,
     services: SampleWindow,
+    /// Memoized [`WaitEstimator::expected_wait`] result, cleared whenever a
+    /// window gains a sample. The scheduler scores the same worker many
+    /// times between observations (every migration candidate ranks up to
+    /// six alternatives), and the windows only change on probe arrival /
+    /// service completion. The memo stores the *computed* value, so a hit
+    /// is bit-identical to a recompute.
+    wait_memo: Cell<Option<Option<SimDuration>>>,
 }
 
 impl WorkerStats {
@@ -72,6 +81,7 @@ impl WorkerStats {
             batch: 0,
             inter_arrivals: SampleWindow::new(),
             services: SampleWindow::new(),
+            wait_memo: Cell::new(None),
         }
     }
 }
@@ -125,15 +135,16 @@ impl WaitEstimator {
                     .push(now.since(last).as_secs_f64() / f64::from(s.batch.max(1)));
                 s.last_arrival = Some(now);
                 s.batch = 1;
+                s.wait_memo.set(None);
             }
         }
     }
 
     /// Records a completed service of `duration` at `worker`.
     pub fn record_service(&mut self, worker: WorkerId, duration: SimDuration) {
-        self.workers[worker.index()]
-            .services
-            .push(duration.as_secs_f64());
+        let s = &mut self.workers[worker.index()];
+        s.services.push(duration.as_secs_f64());
+        s.wait_memo.set(None);
     }
 
     /// The offered load `ρ = λ·E[S]` observed at `worker`, clamped to the
@@ -151,6 +162,16 @@ impl WaitEstimator {
     /// The P-K expected waiting time at `worker` (Equation 1), or `None`
     /// until enough observations exist.
     pub fn expected_wait(&self, worker: WorkerId) -> Option<SimDuration> {
+        let s = &self.workers[worker.index()];
+        if let Some(memo) = s.wait_memo.get() {
+            return memo;
+        }
+        let wait = self.expected_wait_uncached(worker);
+        s.wait_memo.set(Some(wait));
+        wait
+    }
+
+    fn expected_wait_uncached(&self, worker: WorkerId) -> Option<SimDuration> {
         let s = &self.workers[worker.index()];
         let rho = self.rho(worker)?;
         let es = s.services.mean()?;

@@ -426,7 +426,7 @@ impl InvariantAuditor {
         for w in &state.workers {
             for p in w.queue() {
                 let set = &state.jobs[p.job.0 as usize].effective_constraints;
-                fresh.probe_enqueued(p.id, set, &state.feasibility);
+                fresh.probe_enqueued(p.id, p.job, set, &state.feasibility);
             }
         }
         let live = state.crv_ledger();

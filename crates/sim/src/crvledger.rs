@@ -20,6 +20,15 @@
 //!   and nonzero — i.e. only when the distinct-instance set changes.
 //!   Idle↔busy transitions cost O(kinds).
 //!
+//! The ledger sits on the engine's per-probe hot path (every enqueue,
+//! dispatch, steal, and migration goes through it), so its steady state is
+//! hash-free: sets are interned once per *job* into a dense id (a job's
+//! effective set is final before its first probe arrives), each queued
+//! probe's set id lives in a dense vector indexed by the sequential probe
+//! id, and per-constraint refcounts are plain vector slots addressed by
+//! interned instance ids. Hash maps are only touched when a never-seen set
+//! or instance is interned.
+//!
 //! All probe movement between queues and all slot transitions must go
 //! through the [`crate::SimState`] / [`crate::SimCtx`] wrappers that feed
 //! this ledger; mutating [`crate::Worker`] queues directly desynchronizes
@@ -28,8 +37,12 @@
 use std::collections::HashMap;
 
 use phoenix_constraints::{Constraint, ConstraintKind, ConstraintSet, FeasibilityIndex};
+use phoenix_traces::JobId;
 
 use crate::probe::ProbeId;
+
+/// Dense-id sentinel: "no interned set here".
+const ABSENT: u32 = u32::MAX;
 
 /// Continuously maintained CRV demand/supply counters (see module docs).
 #[derive(Debug, Clone, Default)]
@@ -38,13 +51,24 @@ pub struct CrvLedger {
     demand: [u64; ConstraintKind::COUNT],
     /// Per kind: idle workers satisfying ≥1 currently-demanded instance.
     idle_supply: [u64; ConstraintKind::COUNT],
-    /// Interned constraint sets, indexed by the ids in `probe_set`.
+    /// Interned constraint sets, by set id (kept for the debug oracle).
     sets: Vec<Vec<Constraint>>,
+    /// Interned instance ids of each set, parallel to `sets`.
+    set_instances: Vec<Vec<u32>>,
     set_ids: HashMap<Vec<Constraint>, u32>,
-    /// Interned set of each queued *constrained* probe.
-    probe_set: HashMap<ProbeId, u32>,
-    /// Refcount of each distinct constraint instance under demand.
-    instance_refs: HashMap<Constraint, u64>,
+    /// Memoized set id per job (dense by job index, `ABSENT` until the
+    /// job's first constrained probe is enqueued).
+    job_sets: Vec<u32>,
+    /// Interned set id of each queued *constrained* probe, dense by probe
+    /// id (`ABSENT` = unconstrained or not queued).
+    probe_set: Vec<u32>,
+    /// Interned distinct constraint instances, by instance id.
+    instances: Vec<Constraint>,
+    instance_ids: HashMap<Constraint, u32>,
+    /// Refcount per interned instance (parallel to `instances`).
+    instance_refs: Vec<u64>,
+    /// Instances with a nonzero refcount.
+    demanded_instances: usize,
     /// Per worker, per kind: demanded instances of that kind it satisfies.
     sat_count: Vec<[u32; ConstraintKind::COUNT]>,
     /// Mirror of each worker's idleness.
@@ -93,13 +117,16 @@ impl CrvLedger {
 
     /// Distinct constraint instances currently under demand.
     pub fn distinct_instances(&self) -> usize {
-        self.instance_refs.len()
+        self.demanded_instances
     }
 
-    /// Records a probe demanding `set` entering some worker's queue.
+    /// Records a probe of `job` demanding `set` entering some worker's
+    /// queue. `set` must be the job's effective set — it is interned once
+    /// per job and subsequent probes reuse the handle.
     pub fn probe_enqueued(
         &mut self,
         id: ProbeId,
+        job: JobId,
         set: &ConstraintSet,
         feasibility: &FeasibilityIndex,
     ) {
@@ -108,18 +135,35 @@ impl CrvLedger {
             return;
         }
         self.constrained_probes += 1;
-        let set_id = self.intern(set);
-        let prev = self.probe_set.insert(id, set_id);
+        let job_idx = job.0 as usize;
+        if self.job_sets.len() <= job_idx {
+            self.job_sets.resize(job_idx + 1, ABSENT);
+        }
+        let mut set_id = self.job_sets[job_idx];
+        if set_id == ABSENT {
+            set_id = self.intern(set);
+            self.job_sets[job_idx] = set_id;
+        }
         debug_assert!(
-            prev.is_none(),
+            self.sets[set_id as usize].iter().copied().eq(set.iter().copied()),
+            "job {job:?} effective set changed after its first probe was interned"
+        );
+        let pid = usize::try_from(id.0).expect("probe id fits usize");
+        if self.probe_set.len() <= pid {
+            self.probe_set.resize(pid + 1, ABSENT);
+        }
+        debug_assert_eq!(
+            self.probe_set[pid], ABSENT,
             "probe {id:?} enqueued twice without removal"
         );
-        for i in 0..self.sets[set_id as usize].len() {
-            let c = self.sets[set_id as usize][i];
+        self.probe_set[pid] = set_id;
+        for i in 0..self.set_instances[set_id as usize].len() {
+            let inst = self.set_instances[set_id as usize][i] as usize;
+            let c = self.instances[inst];
             self.demand[c.kind.index()] += 1;
-            let refs = self.instance_refs.entry(c).or_insert(0);
-            *refs += 1;
-            if *refs == 1 {
+            self.instance_refs[inst] += 1;
+            if self.instance_refs[inst] == 1 {
+                self.demanded_instances += 1;
                 self.instance_added(&c, feasibility);
             }
         }
@@ -133,20 +177,24 @@ impl CrvLedger {
             "probe {id:?} removed from empty ledger"
         );
         self.queued_probes -= 1;
-        let Some(set_id) = self.probe_set.remove(&id) else {
-            return; // unconstrained probe
+        let pid = usize::try_from(id.0).expect("probe id fits usize");
+        let set_id = match self.probe_set.get(pid) {
+            Some(&s) if s != ABSENT => s,
+            _ => return, // unconstrained probe
         };
+        self.probe_set[pid] = ABSENT;
         self.constrained_probes -= 1;
-        for i in 0..self.sets[set_id as usize].len() {
-            let c = self.sets[set_id as usize][i];
+        for i in 0..self.set_instances[set_id as usize].len() {
+            let inst = self.set_instances[set_id as usize][i] as usize;
+            let c = self.instances[inst];
             self.demand[c.kind.index()] -= 1;
-            let refs = self
-                .instance_refs
-                .get_mut(&c)
-                .expect("removed probe's instances are refcounted");
-            *refs -= 1;
-            if *refs == 0 {
-                self.instance_refs.remove(&c);
+            debug_assert!(
+                self.instance_refs[inst] > 0,
+                "removed probe's instances are refcounted"
+            );
+            self.instance_refs[inst] -= 1;
+            if self.instance_refs[inst] == 0 {
+                self.demanded_instances -= 1;
                 self.instance_removed(&c, feasibility);
             }
         }
@@ -208,13 +256,31 @@ impl CrvLedger {
         }
     }
 
+    /// Interns a constraint set (and each of its instances) into dense
+    /// ids. Only reached once per distinct set — per-probe traffic goes
+    /// through the `job_sets` memo.
     fn intern(&mut self, set: &ConstraintSet) -> u32 {
         let key: Vec<Constraint> = set.iter().copied().collect();
         if let Some(&id) = self.set_ids.get(&key) {
             return id;
         }
         let id = u32::try_from(self.sets.len()).expect("fewer than 2^32 distinct sets");
+        let instances = key
+            .iter()
+            .map(|c| {
+                if let Some(&i) = self.instance_ids.get(c) {
+                    return i;
+                }
+                let i = u32::try_from(self.instances.len())
+                    .expect("fewer than 2^32 distinct instances");
+                self.instances.push(*c);
+                self.instance_refs.push(0);
+                self.instance_ids.insert(*c, i);
+                i
+            })
+            .collect();
         self.sets.push(key.clone());
+        self.set_instances.push(instances);
         self.set_ids.insert(key, id);
         id
     }
@@ -248,8 +314,8 @@ mod tests {
         let index = FeasibilityIndex::new(machines());
         let mut ledger = CrvLedger::new(4);
         let set = cores_gt(4);
-        ledger.probe_enqueued(ProbeId(1), &set, &index);
-        ledger.probe_enqueued(ProbeId(2), &set, &index);
+        ledger.probe_enqueued(ProbeId(1), JobId(0), &set, &index);
+        ledger.probe_enqueued(ProbeId(2), JobId(0), &set, &index);
         assert_eq!(ledger.demand(ConstraintKind::NumCores), 2);
         assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 2);
         assert_eq!(ledger.constrained_probes(), 2);
@@ -271,7 +337,7 @@ mod tests {
     fn unconstrained_probes_only_count_queue_depth() {
         let index = FeasibilityIndex::new(machines());
         let mut ledger = CrvLedger::new(4);
-        ledger.probe_enqueued(ProbeId(9), &ConstraintSet::unconstrained(), &index);
+        ledger.probe_enqueued(ProbeId(9), JobId(3), &ConstraintSet::unconstrained(), &index);
         assert_eq!(ledger.queued_probes(), 1);
         assert_eq!(ledger.constrained_probes(), 0);
         ledger.probe_removed(ProbeId(9), &index);
@@ -282,7 +348,7 @@ mod tests {
     fn busy_workers_leave_the_supply() {
         let index = FeasibilityIndex::new(machines());
         let mut ledger = CrvLedger::new(4);
-        ledger.probe_enqueued(ProbeId(1), &cores_gt(4), &index);
+        ledger.probe_enqueued(ProbeId(1), JobId(0), &cores_gt(4), &index);
         assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 2);
         ledger.worker_busy(0);
         assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 1);
@@ -305,8 +371,8 @@ mod tests {
             shared,
             Constraint::hard(ConstraintKind::MinDisks, ConstraintOp::Gt, 0),
         ]);
-        ledger.probe_enqueued(ProbeId(1), &a, &index);
-        ledger.probe_enqueued(ProbeId(2), &b, &index);
+        ledger.probe_enqueued(ProbeId(1), JobId(0), &a, &index);
+        ledger.probe_enqueued(ProbeId(2), JobId(1), &b, &index);
         assert_eq!(ledger.demand(ConstraintKind::NumCores), 2);
         assert_eq!(ledger.distinct_instances(), 2);
         // Removing the pure-core probe keeps the shared instance alive.
@@ -315,5 +381,21 @@ mod tests {
         assert_eq!(ledger.distinct_instances(), 2);
         ledger.probe_removed(ProbeId(2), &index);
         assert_eq!(ledger.distinct_instances(), 0);
+    }
+
+    #[test]
+    fn probe_ids_and_job_memo_reuse_dense_handles() {
+        let index = FeasibilityIndex::new(machines());
+        let mut ledger = CrvLedger::new(4);
+        let set = cores_gt(4);
+        // Re-enqueue after removal (migration) reuses the probe id slot.
+        ledger.probe_enqueued(ProbeId(5), JobId(2), &set, &index);
+        ledger.probe_removed(ProbeId(5), &index);
+        ledger.probe_enqueued(ProbeId(5), JobId(2), &set, &index);
+        assert_eq!(ledger.demand(ConstraintKind::NumCores), 1);
+        assert_eq!(ledger.constrained_probes(), 1);
+        ledger.probe_removed(ProbeId(5), &index);
+        assert_eq!(ledger.demand(ConstraintKind::NumCores), 0);
+        assert_eq!(ledger.queued_probes(), 0);
     }
 }

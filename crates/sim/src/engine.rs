@@ -104,7 +104,7 @@ impl SimState {
     pub fn enqueue_probe(&mut self, worker: WorkerId, probe: Probe) {
         let set = &self.jobs[probe.job.0 as usize].effective_constraints;
         self.crv_ledger
-            .probe_enqueued(probe.id, set, &self.feasibility);
+            .probe_enqueued(probe.id, probe.job, set, &self.feasibility);
         self.workers[worker.index()].enqueue(probe);
     }
 
@@ -113,7 +113,7 @@ impl SimState {
     pub fn enqueue_probe_front(&mut self, worker: WorkerId, probe: Probe) {
         let set = &self.jobs[probe.job.0 as usize].effective_constraints;
         self.crv_ledger
-            .probe_enqueued(probe.id, set, &self.feasibility);
+            .probe_enqueued(probe.id, probe.job, set, &self.feasibility);
         self.workers[worker.index()].enqueue_front(probe);
     }
 
@@ -203,7 +203,7 @@ impl SimState {
         for w in &self.workers {
             for p in w.queue() {
                 let set = &self.jobs[p.job.0 as usize].effective_constraints;
-                ledger.probe_enqueued(p.id, set, &self.feasibility);
+                ledger.probe_enqueued(p.id, p.job, set, &self.feasibility);
             }
         }
         self.crv_ledger = ledger;
@@ -356,11 +356,17 @@ impl Simulation {
 
     /// Runs the simulation to completion and returns the result.
     pub fn run(mut self) -> SimResult {
-        while let Some((t, event)) = self.events.pop() {
+        loop {
+            let started = self.state.profiler.begin();
+            let popped = self.events.pop();
+            self.state.profiler.end(ProfileScope::EventPop, started);
+            let Some((t, event)) = popped else { break };
             debug_assert!(t >= self.state.now, "time must not go backwards");
             let heartbeat = self.auditor.is_some() && matches!(event, Event::SchedulerWakeup(_));
             self.state.now = t;
+            let started = self.state.profiler.begin();
             self.handle(event);
+            self.state.profiler.end(ProfileScope::HandleEvent, started);
             self.drain_touched();
             if let Some(auditor) = self.auditor.as_deref_mut() {
                 auditor.after_event(heartbeat, &self.state, &self.events);

@@ -27,16 +27,23 @@ pub enum ProfileScope {
     Steal = 3,
     /// Feasible-worker sampling during placement (`SimCtx::sample_*`).
     Sample = 4,
+    /// Popping the next event batch off the event queue.
+    EventPop = 5,
+    /// Dispatching one event to the engine + scheduler (nested scopes
+    /// such as `Sample` and `Steal` are counted in both).
+    HandleEvent = 6,
 }
 
 impl ProfileScope {
     /// All scopes, in display order.
-    pub const ALL: [ProfileScope; 5] = [
+    pub const ALL: [ProfileScope; 7] = [
         ProfileScope::Dispatch,
         ProfileScope::HeartbeatRefresh,
         ProfileScope::Reorder,
         ProfileScope::Steal,
         ProfileScope::Sample,
+        ProfileScope::EventPop,
+        ProfileScope::HandleEvent,
     ];
 
     /// Human/table name of the scope.
@@ -47,6 +54,8 @@ impl ProfileScope {
             ProfileScope::Reorder => "reorder",
             ProfileScope::Steal => "steal",
             ProfileScope::Sample => "sample",
+            ProfileScope::EventPop => "event_pop",
+            ProfileScope::HandleEvent => "handle_event",
         }
     }
 }
@@ -72,7 +81,7 @@ impl ScopeTotals {
 #[derive(Debug, Clone)]
 pub struct Profiler {
     enabled: bool,
-    totals: [ScopeTotals; 5],
+    totals: [ScopeTotals; 7],
 }
 
 impl Default for Profiler {
@@ -86,7 +95,7 @@ impl Profiler {
     pub fn disabled() -> Self {
         Profiler {
             enabled: false,
-            totals: [ScopeTotals::default(); 5],
+            totals: [ScopeTotals::default(); 7],
         }
     }
 
@@ -94,7 +103,7 @@ impl Profiler {
     pub fn enabled() -> Self {
         Profiler {
             enabled: true,
-            totals: [ScopeTotals::default(); 5],
+            totals: [ScopeTotals::default(); 7],
         }
     }
 
@@ -143,7 +152,7 @@ impl Profiler {
 /// bench runner's `--profile` table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProfileReport {
-    totals: [ScopeTotals; 5],
+    totals: [ScopeTotals; 7],
 }
 
 impl ProfileReport {

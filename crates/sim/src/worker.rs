@@ -58,7 +58,13 @@ pub struct RunningTask {
 pub struct Worker {
     slots: usize,
     running: Vec<RunningTask>,
+    /// Probe queue as a head-offset ring over a `Vec`: the live queue is
+    /// `queue[head..]`, so popping the head (the overwhelmingly common
+    /// removal — every dispatch) is a pointer bump instead of an O(queue)
+    /// `Vec::remove(0)` shift. Dead slots before `head` are reclaimed by
+    /// amortized compaction.
     queue: Vec<Probe>,
+    head: usize,
     /// Total busy microseconds accumulated (for utilization).
     busy_us: u64,
     /// Sum of bound task durations currently queued, microseconds (an
@@ -97,6 +103,7 @@ impl Worker {
             slots,
             running: Vec::with_capacity(slots),
             queue: Vec::new(),
+            head: 0,
             busy_us: 0,
             queued_bound_work_us: 0,
             queued_spec_est_us: 0,
@@ -190,7 +197,7 @@ impl Worker {
 
     /// The probe queue, in service order.
     pub fn queue(&self) -> &[Probe] {
-        &self.queue
+        &self.queue[self.head..]
     }
 
     /// Mutable access to the probe queue for policy reordering.
@@ -204,18 +211,19 @@ impl Worker {
     /// aggregate in debug builds ([`Worker::audit_bound_work`]) and panics
     /// on divergence.
     pub fn queue_mut(&mut self) -> &mut [Probe] {
-        &mut self.queue
+        let head = self.head;
+        &mut self.queue[head..]
     }
 
     /// Recomputes the bound-work aggregate directly from the queue.
     pub fn recomputed_bound_work_us(&self) -> u64 {
-        self.queue.iter().filter_map(|p| p.bound_duration_us).sum()
+        self.queue().iter().filter_map(|p| p.bound_duration_us).sum()
     }
 
     /// Recomputes the speculative-estimate aggregate directly from the
     /// queue.
     pub fn recomputed_spec_est_us(&self) -> u64 {
-        self.queue
+        self.queue()
             .iter()
             .filter(|p| !p.is_bound())
             .map(|p| p.est_duration_us)
@@ -256,13 +264,27 @@ impl Worker {
         self.queue.push(probe);
     }
 
-    /// Removes and returns the probe at `index`.
+    /// Removes and returns the probe at `index` (relative to the queue
+    /// head). Popping the head is O(1); middle removals shift whichever
+    /// side of the queue is shorter.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
     pub fn remove_probe(&mut self, index: usize) -> Probe {
-        let probe = self.queue.remove(index);
+        let len = self.queue_len();
+        assert!(index < len, "remove_probe index out of bounds");
+        let abs = self.head + index;
+        let probe = self.queue[abs];
+        if index * 2 < len {
+            // Head side shorter: slide `[head, abs)` right into the gap and
+            // advance the head (O(index); O(1) for the head itself).
+            self.queue.copy_within(self.head..abs, self.head + 1);
+            self.head += 1;
+            self.maybe_compact();
+        } else {
+            self.queue.remove(abs);
+        }
         match probe.bound_duration_us {
             Some(d) => self.queued_bound_work_us -= d,
             None => self.queued_spec_est_us -= probe.est_duration_us,
@@ -270,13 +292,26 @@ impl Worker {
         probe
     }
 
+    /// Reclaims the dead prefix before `head` once it dominates the
+    /// buffer; each compaction moves at most as many probes as were popped
+    /// since the last one, so removal stays amortized O(1).
+    fn maybe_compact(&mut self) {
+        if self.head == self.queue.len() {
+            self.queue.clear();
+            self.head = 0;
+        } else if self.head >= 32 && self.head * 2 >= self.queue.len() {
+            self.queue.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
     /// Removes and returns every queued probe matching `predicate`
     /// (used by work stealing).
     pub fn steal_if(&mut self, mut predicate: impl FnMut(&Probe) -> bool) -> Vec<Probe> {
         let mut stolen = Vec::new();
         let mut i = 0;
-        while i < self.queue.len() {
-            if predicate(&self.queue[i]) {
+        while i < self.queue_len() {
+            if predicate(&self.queue()[i]) {
                 stolen.push(self.remove_probe(i));
             } else {
                 i += 1;
@@ -287,7 +322,7 @@ impl Worker {
 
     /// Queue length.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.queue.len() - self.head
     }
 
     /// Sum of bound task durations in the queue, microseconds.
@@ -336,21 +371,22 @@ impl Worker {
         to: usize,
         slack_threshold: u32,
     ) -> (usize, Option<usize>) {
-        assert!(from < self.queue.len(), "promote index out of bounds");
+        assert!(from < self.queue_len(), "promote index out of bounds");
         assert!(to <= from, "promote must move toward the front");
         if from == to {
             return (0, None);
         }
+        let (h_to, h_from) = (self.head + to, self.head + from);
         let mut last_pinned = None;
-        for (j, p) in self.queue[to..from].iter_mut().enumerate() {
+        for (j, p) in self.queue[h_to..h_from].iter_mut().enumerate() {
             p.bypass_count += 1;
             if p.bypass_count >= slack_threshold {
-                // The probe at absolute index `to + j` lands at `to + j + 1`
-                // after the rotation below.
+                // The probe at queue-relative index `to + j` lands at
+                // `to + j + 1` after the rotation below.
                 last_pinned = Some(to + j + 1);
             }
         }
-        self.queue[to..=from].rotate_right(1);
+        self.queue[h_to..=h_from].rotate_right(1);
         (from - to, last_pinned)
     }
 
@@ -365,7 +401,13 @@ impl Worker {
             Some(d) => self.queued_bound_work_us += d,
             None => self.queued_spec_est_us += probe.est_duration_us,
         }
-        self.queue.insert(0, probe);
+        if self.head > 0 {
+            // Reuse a dead slot before the head: O(1).
+            self.head -= 1;
+            self.queue[self.head] = probe;
+        } else {
+            self.queue.insert(0, probe);
+        }
     }
 }
 
