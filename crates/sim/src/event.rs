@@ -1,4 +1,15 @@
 //! The discrete-event queue.
+//!
+//! A two-tier calendar queue: events inside the current ~268 s window live
+//! in fixed-width time buckets (65.536 ms each) and cost O(1) amortized to
+//! push and pop; events beyond the window wait in an overflow heap and are
+//! transferred in bulk whenever the window advances. Buckets are sorted
+//! lazily — a bucket is only ordered when the pop cursor actually reaches
+//! it, so same-timestamp bursts are sorted once and then drained O(1) per
+//! event. The pop order is exactly `(time, seq)` — identical to the former
+//! `BinaryHeap` implementation, including FIFO tie-breaks among same-time
+//! events (property-tested against a heap oracle in
+//! `tests/event_queue_properties.rs`).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -62,11 +73,49 @@ impl Ord for Scheduled {
     }
 }
 
-/// A deterministic future-event list.
-#[derive(Debug, Default)]
+/// Width of one calendar bucket in microseconds (65.536 ms). A power of
+/// two so the bucket index is a shift, not a division.
+const BUCKET_BITS: u32 = 16;
+const BUCKET_WIDTH: u64 = 1 << BUCKET_BITS;
+/// Buckets per window. At the paper's event densities (~100 events per
+/// second of simulated time) a bucket holds a handful of events.
+const NUM_BUCKETS: usize = 4096;
+/// Time span of the near window (~268 s of simulated time).
+const WINDOW: u64 = BUCKET_WIDTH * NUM_BUCKETS as u64;
+
+/// A deterministic future-event list (two-tier calendar queue).
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    /// Near window: `buckets[i]` holds events with
+    /// `base + i*BUCKET_WIDTH <= t < base + (i+1)*BUCKET_WIDTH`.
+    buckets: Vec<Vec<Scheduled>>,
+    /// Per-bucket "needs sorting" flag; set on push, cleared when the pop
+    /// cursor sorts the bucket (descending, so `Vec::pop` yields the min).
+    dirty: Vec<bool>,
+    /// First bucket index that may still hold events; buckets before it
+    /// are empty. Only advances while searching for the next event.
+    cursor: usize,
+    /// Start of the near window. Always a multiple of `WINDOW`.
+    base: u64,
+    /// Events at or beyond `base + WINDOW`, transferred into buckets when
+    /// the window advances past the last near event.
+    far: BinaryHeap<Scheduled>,
+    len: usize,
     next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            dirty: vec![false; NUM_BUCKETS],
+            cursor: 0,
+            base: 0,
+            far: BinaryHeap::new(),
+            len: 0,
+            next_seq: 0,
+        }
+    }
 }
 
 impl EventQueue {
@@ -79,32 +128,116 @@ impl EventQueue {
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled {
+        self.push_scheduled(Scheduled {
             time: at,
             seq,
             event,
         });
     }
 
+    fn push_scheduled(&mut self, s: Scheduled) {
+        if s.time.0 < self.base {
+            // Scheduling before the window start only happens when a test
+            // drives the queue with non-monotone times (the engine never
+            // schedules in the past); rewind the whole window to cover it.
+            self.rebase(s.time.0);
+        }
+        self.len += 1;
+        if s.time.0 < self.base + WINDOW {
+            let idx = ((s.time.0 - self.base) >> BUCKET_BITS) as usize;
+            // Non-monotone test drivers may also land behind the cursor
+            // inside the window; pull the cursor back so pop re-scans.
+            if idx < self.cursor {
+                self.cursor = idx;
+            }
+            self.buckets[idx].push(s);
+            self.dirty[idx] = true;
+        } else {
+            self.far.push(s);
+        }
+    }
+
+    /// Rewinds the window so it starts at or before `t`, rehoming every
+    /// pending event. O(len); never hit by the monotone engine.
+    fn rebase(&mut self, t: u64) {
+        let mut pending: Vec<Scheduled> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            pending.append(b);
+        }
+        pending.extend(self.far.drain());
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.base = t / WINDOW * WINDOW;
+        self.cursor = 0;
+        self.len = 0;
+        for s in pending {
+            self.push_scheduled(s);
+        }
+    }
+
+    /// Advances the window to the earliest far event and moves every far
+    /// event that now fits into the buckets. Caller guarantees the near
+    /// window is empty and `far` is not.
+    fn advance_window(&mut self) {
+        let earliest = self.far.peek().expect("advance_window on empty far").time.0;
+        self.base = earliest / WINDOW * WINDOW;
+        self.cursor = ((earliest - self.base) >> BUCKET_BITS) as usize;
+        let limit = self.base + WINDOW;
+        while let Some(s) = self.far.peek() {
+            if s.time.0 >= limit {
+                break;
+            }
+            let s = self.far.pop().expect("peeked");
+            let idx = ((s.time.0 - self.base) >> BUCKET_BITS) as usize;
+            self.buckets[idx].push(s);
+            self.dirty[idx] = true;
+        }
+    }
+
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            while self.cursor < NUM_BUCKETS {
+                if !self.buckets[self.cursor].is_empty() {
+                    let idx = self.cursor;
+                    if self.dirty[idx] {
+                        if self.buckets[idx].len() > 1 {
+                            self.buckets[idx]
+                                .sort_unstable_by_key(|s| std::cmp::Reverse((s.time, s.seq)));
+                        }
+                        self.dirty[idx] = false;
+                    }
+                    let s = self.buckets[idx].pop().expect("non-empty bucket");
+                    self.len -= 1;
+                    return Some((s.time, s.event));
+                }
+                self.cursor += 1;
+            }
+            debug_assert!(!self.far.is_empty(), "len > 0 but near and far empty");
+            self.advance_window();
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Iterates the pending events in unspecified order (the invariant
     /// auditor scans for in-flight probes; it never consumes).
     pub(crate) fn pending_events(&self) -> impl Iterator<Item = &Event> {
-        self.heap.iter().map(|s| &s.event)
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter())
+            .chain(self.far.iter())
+            .map(|s| &s.event)
     }
 
     /// Drains every pending event, unordered, keeping the assigned
@@ -113,10 +246,15 @@ impl EventQueue {
     /// counter is *not* reset, so later schedules keep numbering from where
     /// the engine left off.
     pub(crate) fn drain_unordered(&mut self) -> Vec<(SimTime, u64, Event)> {
-        self.heap
-            .drain()
-            .map(|s| (s.time, s.seq, s.event))
-            .collect()
+        let mut out = Vec::with_capacity(self.len);
+        for (i, b) in self.buckets.iter_mut().enumerate() {
+            out.extend(b.drain(..).map(|s| (s.time, s.seq, s.event)));
+            self.dirty[i] = false;
+        }
+        out.extend(self.far.drain().map(|s| (s.time, s.seq, s.event)));
+        self.len = 0;
+        self.cursor = 0;
+        out
     }
 }
 
@@ -158,5 +296,68 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn crosses_window_boundaries_in_order() {
+        let mut q = EventQueue::new();
+        // Events spread over several windows, pushed shuffled, with ties
+        // straddling an exact window boundary.
+        let times = [
+            WINDOW * 3 + 7,
+            5,
+            WINDOW,
+            WINDOW - 1,
+            WINDOW * 2 + BUCKET_WIDTH,
+            WINDOW,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), Event::JobArrival(i as u32));
+        }
+        let order: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| match e {
+                Event::JobArrival(i) => (t.0, i),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (5, 1),
+                (WINDOW - 1, 3),
+                (WINDOW, 2),
+                (WINDOW, 5),
+                (WINDOW * 2 + BUCKET_WIDTH, 4),
+                (WINDOW * 3 + 7, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_at_current_time() {
+        // The engine schedules zero-delay events at the time it just
+        // popped; they must come out before anything later.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), Event::JobArrival(0));
+        q.schedule(SimTime(200), Event::JobArrival(1));
+        let (t, _) = q.pop().expect("first");
+        assert_eq!(t.0, 100);
+        q.schedule(SimTime(100), Event::JobArrival(2));
+        q.schedule(SimTime(150), Event::JobArrival(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.0).collect();
+        assert_eq!(order, vec![100, 150, 200]);
+    }
+
+    #[test]
+    fn non_monotone_pushes_rebase() {
+        // Test drivers may schedule before the current window; the queue
+        // rewinds instead of misordering.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(WINDOW * 5), Event::JobArrival(0));
+        let _ = q.pop();
+        q.schedule(SimTime(3), Event::JobArrival(1));
+        q.schedule(SimTime(WINDOW * 6), Event::JobArrival(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.0).collect();
+        assert_eq!(order, vec![3, WINDOW * 6]);
     }
 }

@@ -1,0 +1,88 @@
+//! Property test: the calendar event queue pops in exactly the order the
+//! old `BinaryHeap` future-event list did — `(time, seq)` ascending, FIFO
+//! among same-time events — under arbitrary interleavings of schedules and
+//! pops, including same-timestamp bursts, events many windows in the
+//! future, and (unlike the engine) non-monotone schedule times.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+
+use phoenix_sim::{Event, EventQueue, SimTime};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule an event at (roughly) the given time; the marker payload
+    /// lets the oracle check *which* event came out, not just when.
+    Schedule(u64),
+    Pop,
+}
+
+/// Times mix four scales so runs exercise intra-bucket ties, intra-window
+/// ordering, window advances, and the far heap: the calendar bucket is
+/// 2^16 us wide and the window 2^28 us.
+fn arb_time() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,          // dense ties in one bucket
+        0u64..(1 << 17),   // a couple of buckets
+        0u64..(1 << 29),   // crosses the window boundary
+        0u64..(1 << 33),   // tens of windows out
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_time().prop_map(Op::Schedule),
+        arb_time().prop_map(Op::Schedule),
+        arb_time().prop_map(Op::Schedule),
+        Just(Op::Pop),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn calendar_queue_matches_binary_heap_oracle(ops in prop::collection::vec(arb_op(), 0..200)) {
+        let mut queue = EventQueue::new();
+        // Oracle: min-heap on (time, seq) with the marker payload, exactly
+        // the ordering contract the old implementation provided.
+        let mut oracle: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut marker = 0u32;
+        for op in ops {
+            match op {
+                Op::Schedule(t) => {
+                    queue.schedule(SimTime(t), Event::JobArrival(marker));
+                    oracle.push(Reverse((t, seq, marker)));
+                    seq += 1;
+                    marker += 1;
+                }
+                Op::Pop => {
+                    let got = queue.pop();
+                    let want = oracle.pop();
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some((t, Event::JobArrival(m))), Some(Reverse((wt, _, wm)))) => {
+                            prop_assert_eq!(t.0, wt, "pop time diverged from heap oracle");
+                            prop_assert_eq!(m, wm, "same-time FIFO tie-break diverged");
+                        }
+                        (got, want) => prop_assert!(false, "mismatch: {got:?} vs {want:?}"),
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), oracle.len());
+            prop_assert_eq!(queue.is_empty(), oracle.is_empty());
+        }
+        // Drain the remainder: full order must agree.
+        while let Some(Reverse((wt, _, wm))) = oracle.pop() {
+            let (t, e) = queue.pop().expect("queue drained before oracle");
+            prop_assert_eq!(t.0, wt);
+            match e {
+                Event::JobArrival(m) => prop_assert_eq!(m, wm),
+                other => prop_assert!(false, "unexpected event {other:?}"),
+            }
+        }
+        prop_assert!(queue.pop().is_none());
+    }
+}
