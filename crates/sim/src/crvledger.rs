@@ -145,7 +145,10 @@ impl CrvLedger {
             self.job_sets[job_idx] = set_id;
         }
         debug_assert!(
-            self.sets[set_id as usize].iter().copied().eq(set.iter().copied()),
+            self.sets[set_id as usize]
+                .iter()
+                .copied()
+                .eq(set.iter().copied()),
             "job {job:?} effective set changed after its first probe was interned"
         );
         let pid = usize::try_from(id.0).expect("probe id fits usize");
@@ -337,7 +340,12 @@ mod tests {
     fn unconstrained_probes_only_count_queue_depth() {
         let index = FeasibilityIndex::new(machines());
         let mut ledger = CrvLedger::new(4);
-        ledger.probe_enqueued(ProbeId(9), JobId(3), &ConstraintSet::unconstrained(), &index);
+        ledger.probe_enqueued(
+            ProbeId(9),
+            JobId(3),
+            &ConstraintSet::unconstrained(),
+            &index,
+        );
         assert_eq!(ledger.queued_probes(), 1);
         assert_eq!(ledger.constrained_probes(), 0);
         ledger.probe_removed(ProbeId(9), &index);

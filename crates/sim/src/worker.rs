@@ -217,7 +217,10 @@ impl Worker {
 
     /// Recomputes the bound-work aggregate directly from the queue.
     pub fn recomputed_bound_work_us(&self) -> u64 {
-        self.queue().iter().filter_map(|p| p.bound_duration_us).sum()
+        self.queue()
+            .iter()
+            .filter_map(|p| p.bound_duration_us)
+            .sum()
     }
 
     /// Recomputes the speculative-estimate aggregate directly from the

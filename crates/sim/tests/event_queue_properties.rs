@@ -24,10 +24,10 @@ enum Op {
 /// 2^16 us wide and the window 2^28 us.
 fn arb_time() -> impl Strategy<Value = u64> {
     prop_oneof![
-        0u64..16,          // dense ties in one bucket
-        0u64..(1 << 17),   // a couple of buckets
-        0u64..(1 << 29),   // crosses the window boundary
-        0u64..(1 << 33),   // tens of windows out
+        0u64..16,        // dense ties in one bucket
+        0u64..(1 << 17), // a couple of buckets
+        0u64..(1 << 29), // crosses the window boundary
+        0u64..(1 << 33), // tens of windows out
     ]
 }
 
