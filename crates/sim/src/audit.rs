@@ -691,13 +691,16 @@ impl ReferenceExecutor {
             } else {
                 1.0
             };
-            let duration_us =
-                ((raw_duration_us as f64) * probe.slowdown.max(1.0) * clock_factor).round() as u64;
+            // Mirrors the engine's dispatch clamp: sub-microsecond tasks
+            // store the same 1 us duration their finish event implies.
+            let duration_us = (((raw_duration_us as f64) * probe.slowdown.max(1.0) * clock_factor)
+                .round() as u64)
+                .max(1);
             if probe.slowdown > 1.0 {
                 state.metrics.counters.relaxed_tasks += 1;
             }
             let start = state.now + fetch_delay;
-            let finish = start + SimDuration(duration_us.max(1));
+            let finish = start + SimDuration(duration_us);
             let now = state.now;
             {
                 let SimState { jobs, metrics, .. } = state;

@@ -633,13 +633,20 @@ impl Simulation {
             } else {
                 1.0
             };
-            let duration_us =
-                ((raw_duration_us as f64) * probe.slowdown.max(1.0) * clock_factor).round() as u64;
+            // Clamp to 1 us once, here: sub-microsecond tasks round to a
+            // zero duration, but the engine schedules their finish 1 us
+            // out. Storing the unclamped value would desync every
+            // consumer of RunningTask::duration_us (busy-time accounting,
+            // estimator service records, scheduler callbacks) from the
+            // interval the worker is actually occupied.
+            let duration_us = (((raw_duration_us as f64) * probe.slowdown.max(1.0) * clock_factor)
+                .round() as u64)
+                .max(1);
             if probe.slowdown > 1.0 {
                 self.state.metrics.counters.relaxed_tasks += 1;
             }
             let start = self.state.now + fetch_delay;
-            let finish = start + SimDuration(duration_us.max(1));
+            let finish = start + SimDuration(duration_us);
             let now = self.state.now;
             {
                 // Borrow-split so the job's wait accumulator and the

@@ -305,3 +305,88 @@ fn recovered_worker_passes_the_audit_on_reuse() {
     assert_eq!(result.lost_tasks, 0);
     assert_eq!(result.counters.bound_placements, 1);
 }
+
+/// Sends the job's single probe to worker 0 and records the task duration
+/// the engine reports back at finish; retries fall back to the default
+/// re-placement.
+#[derive(Debug)]
+struct OneProbeScheduler {
+    reported: std::rc::Rc<std::cell::Cell<Option<u64>>>,
+}
+
+impl Scheduler for OneProbeScheduler {
+    fn name(&self) -> &str {
+        "one-probe"
+    }
+
+    fn on_job_arrival(&mut self, job: JobId, ctx: &mut SimCtx<'_>) {
+        let probe = ctx.new_probe(job);
+        ctx.send_probe(WorkerId(0), probe);
+    }
+
+    fn on_task_finish(
+        &mut self,
+        _worker: WorkerId,
+        _job: JobId,
+        duration_us: u64,
+        _ctx: &mut SimCtx<'_>,
+    ) {
+        self.reported.set(Some(duration_us));
+    }
+}
+
+/// Trace durations are clamped to ≥1 µs at load, but clock scaling can
+/// still shrink a 1 µs task to a *zero* integer duration on a machine
+/// faster than the reference clock — while the engine schedules its finish
+/// 1 µs out. The dispatch path must store that same clamped duration in
+/// the running task: an unclamped zero desyncs every consumer of
+/// `RunningTask::duration_us` (the `on_task_finish` callback feeding wait
+/// estimators, crash-refund arithmetic) from the interval the slot is
+/// actually held. Run under the heavy fault profile so the retry/crash
+/// machinery is armed around the dispatch.
+#[test]
+fn rounds_to_zero_task_stores_clamped_duration() {
+    let trace = Trace::new(
+        "t",
+        vec![Job {
+            id: JobId(0),
+            arrival_s: 0.0,
+            task_durations_s: vec![1e-6],
+            estimated_task_duration_s: 1.0,
+            constraints: Default::default(),
+            short: true,
+            user: 0,
+        }],
+    );
+    // 4× the reference clock: 1 µs scales to 0.25 µs, rounding to zero.
+    let machine = phoenix_constraints::AttributeVector::builder()
+        .cpu_clock_mhz(8_800)
+        .build();
+    let config = SimConfig {
+        faults: phoenix_sim::FaultPlan::heavy(),
+        scale_duration_by_clock: true,
+        ..SimConfig::default()
+    };
+    let rtt_us = config.rtt().as_micros();
+    let reported = std::rc::Rc::new(std::cell::Cell::new(None));
+    let result = Simulation::new(
+        config,
+        FeasibilityIndex::new(vec![machine]),
+        &trace,
+        Box::new(OneProbeScheduler {
+            reported: reported.clone(),
+        }),
+        3,
+    )
+    .run();
+    assert_eq!(result.counters.tasks_completed, 1);
+    assert_eq!(result.incomplete_jobs, 0);
+    assert_eq!(
+        reported.get(),
+        Some(1),
+        "finish must report the clamped 1 µs the slot actually ran, not the raw 0"
+    );
+    // Slot-held time: one fetch RTT (late-bound payload) plus the clamped
+    // 1 µs of execution.
+    assert_eq!(result.metrics.busy_us, rtt_us + 1);
+}
