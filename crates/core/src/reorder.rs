@@ -122,6 +122,13 @@ pub fn crv_insert_tail(
     slack_threshold: u32,
 ) -> usize {
     let (hot_dim, hot_ratio) = crv.max_dimension();
+    // Gate identically to `crv_reorder_queue`: with no contended dimension
+    // the cluster is not in CRV mode, so the tail keeps plain FIFO order.
+    // Without this gate the rank below degenerates to pure SRPT and kept
+    // bypassing on estimates even when contention gating said "off".
+    if hot_ratio <= 0.0 {
+        return 0;
+    }
     let tail = {
         let w = &state.workers[worker.index()];
         match w.queue_len() {
@@ -351,6 +358,29 @@ mod tests {
         let moved = crv_insert_tail(&mut state, WorkerId(0), &hot_net(), 5);
         assert_eq!(moved, 0);
         assert_eq!(state.metrics.counters.starvation_suppressions, 0);
+    }
+
+    #[test]
+    fn insert_tail_gates_off_without_contention() {
+        // With no contended dimension both reorder entry points must be
+        // no-ops. Before the gate, crv_insert_tail degenerated to pure
+        // SRPT here and would bypass the slower head probes.
+        let mut state = state_with_queue(vec![
+            ConstraintSet::unconstrained(),
+            ConstraintSet::unconstrained(),
+            net_set(),
+        ]);
+        // Give the tail a far shorter estimate than the queued probes so
+        // an SRPT walk would promote it to the front.
+        state.workers[0].queue_mut()[2].est_duration_us = 1;
+        let moved = crv_insert_tail(&mut state, WorkerId(0), &Crv::zero(), 5);
+        assert_eq!(moved, 0, "no bypasses while contention gating is off");
+        assert_eq!(order(&state), vec![0, 1, 2], "tail keeps FIFO position");
+        assert_eq!(
+            crv_reorder_queue(&mut state, WorkerId(0), &Crv::zero(), 5),
+            0,
+            "both entry points gate on the same condition"
+        );
     }
 
     #[test]
