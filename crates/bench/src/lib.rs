@@ -29,6 +29,7 @@ pub mod summary;
 pub use args::{ObserveArgs, Scale};
 pub use report::{print_normalized_sweep, sweep, SweepPoint, SWEEP_FACTORS};
 pub use runner::{
-    run_many, run_seeds, run_spec, run_spec_timed, RunSpec, RunTiming, SchedulerKind,
+    run_many, run_seeds, run_spec, run_spec_timed, run_specs_parallel, scenario_matrix, RunSpec,
+    RunTiming, SchedulerKind,
 };
 pub use summary::{average_summaries, summarize, PercentileTriple, Summary};

@@ -127,6 +127,13 @@ pub struct RunSpec {
     /// RNG seed (cluster, trace and scheduler randomness all derive from
     /// it).
     pub seed: u64,
+    /// Trace-generation seed override. `None` draws the workload from
+    /// `seed`, which makes a smaller job count a *strict prefix* of a
+    /// larger one (the generator is a single sequential stream) — useful
+    /// for debugging, misleading for scale ladders, where every row would
+    /// share its early critical path. Benchmarks sweeping `jobs` set this
+    /// per row to decorrelate the samples.
+    pub gen_seed: Option<u64>,
     /// Record per-task wait samples (heavier; needed for CDF figures).
     pub record_task_waits: bool,
     /// Fault profile injected into the run ([`FaultPlan::none`] for the
@@ -157,6 +164,7 @@ impl RunSpec {
             gen_nodes: nodes,
             gen_util: 0.9,
             seed: 1,
+            gen_seed: None,
             record_task_waits: true,
             faults: FaultPlan::none(),
             trace_out: None,
@@ -248,11 +256,8 @@ pub fn run_spec_timed(spec: &RunSpec) -> (SimResult, RunTiming) {
         MachinePopulation::generate(spec.profile.population.clone(), spec.nodes, &mut rng);
     timing.cluster_gen_s = started.elapsed().as_secs_f64();
     let started = std::time::Instant::now();
-    let trace = TraceGenerator::new(spec.profile.clone(), spec.seed).generate(
-        spec.jobs,
-        spec.gen_nodes,
-        spec.gen_util,
-    );
+    let trace = TraceGenerator::new(spec.profile.clone(), spec.gen_seed.unwrap_or(spec.seed))
+        .generate(spec.jobs, spec.gen_nodes, spec.gen_util);
     timing.trace_gen_s = started.elapsed().as_secs_f64();
     let cutoff = spec.profile.short_cutoff_s();
     let config = SimConfig {
@@ -288,24 +293,31 @@ pub fn run_spec_timed(spec: &RunSpec) -> (SimResult, RunTiming) {
     (result, timing)
 }
 
-/// Executes a batch of runs in parallel (bounded by available CPU cores),
-/// preserving input order in the output.
-pub fn run_many(specs: &[RunSpec]) -> Vec<SimResult> {
-    let parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(specs.len().max(1));
+/// Executes a batch of runs across `threads` worker threads (a scoped
+/// work-stealing pool over an atomic cursor), preserving input order in
+/// the output and returning the per-run wall-clock breakdowns.
+///
+/// Every run is fully deterministic in its spec, so results — digests
+/// included — are byte-identical whatever the thread count or
+/// interleaving; only the wall-clock timings vary. `threads` is clamped to
+/// `[1, specs.len()]`; one thread degenerates to a plain sequential loop
+/// with no pool overhead.
+pub fn run_specs_parallel(specs: &[RunSpec], threads: usize) -> Vec<(SimResult, RunTiming)> {
+    let threads = threads.clamp(1, specs.len().max(1));
+    if threads == 1 {
+        return specs.iter().map(run_spec_timed).collect();
+    }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<SimResult>>> =
+    let results: Vec<std::sync::Mutex<Option<(SimResult, RunTiming)>>> =
         specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..parallelism {
+        for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= specs.len() {
                     return;
                 }
-                let result = run_spec(&specs[i]);
+                let result = run_spec_timed(&specs[i]);
                 *results[i].lock().expect("no poisoned locks") = Some(result);
             });
         }
@@ -317,6 +329,41 @@ pub fn run_many(specs: &[RunSpec]) -> Vec<SimResult> {
                 .expect("no poisoned locks")
                 .expect("every slot filled")
         })
+        .collect()
+}
+
+/// Builds the full cross product of scenarios — every profile × scheduler
+/// × seed — applying `configure` to each spec (set `jobs`, `nodes`,
+/// faults, ... there). Feed the result to [`run_specs_parallel`]; output
+/// order is profiles-major, then schedulers, then seeds.
+pub fn scenario_matrix(
+    profiles: &[TraceProfile],
+    schedulers: &[SchedulerKind],
+    seeds: &[u64],
+    mut configure: impl FnMut(&mut RunSpec),
+) -> Vec<RunSpec> {
+    let mut specs = Vec::with_capacity(profiles.len() * schedulers.len() * seeds.len());
+    for profile in profiles {
+        for &scheduler in schedulers {
+            for &seed in seeds {
+                let mut spec = RunSpec::new(profile.clone(), scheduler).with_seed(seed);
+                configure(&mut spec);
+                specs.push(spec);
+            }
+        }
+    }
+    specs
+}
+
+/// Executes a batch of runs in parallel (bounded by available CPU cores),
+/// preserving input order in the output.
+pub fn run_many(specs: &[RunSpec]) -> Vec<SimResult> {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    run_specs_parallel(specs, parallelism)
+        .into_iter()
+        .map(|(result, _)| result)
         .collect()
 }
 
@@ -367,6 +414,30 @@ mod tests {
                 kind.name(),
                 result.scheduler
             );
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_matches_sequential_digests() {
+        // A seeds × schedulers matrix run on several threads must produce
+        // byte-identical digests, in the same order, as one thread.
+        let specs = scenario_matrix(
+            &[TraceProfile::yahoo()],
+            &[SchedulerKind::Phoenix, SchedulerKind::EagleC],
+            &[2, 7],
+            |spec| {
+                spec.nodes = 60;
+                spec.gen_nodes = 60;
+                spec.jobs = 150;
+                spec.gen_util = 0.6;
+            },
+        );
+        assert_eq!(specs.len(), 4);
+        let sequential = run_specs_parallel(&specs, 1);
+        let parallel = run_specs_parallel(&specs, 3);
+        assert_eq!(sequential.len(), parallel.len());
+        for ((a, _), (b, _)) in sequential.iter().zip(parallel.iter()) {
+            assert_eq!(a.digest(), b.digest(), "thread count must not leak in");
         }
     }
 
