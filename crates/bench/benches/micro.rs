@@ -7,7 +7,8 @@ use std::hint::black_box;
 
 use phoenix_bench::{run_spec, RunSpec, SchedulerKind};
 use phoenix_constraints::{
-    ConstraintModel, FeasibilityIndex, MachinePopulation, PopulationProfile,
+    Constraint, ConstraintExpr, ConstraintKind, ConstraintModel, ConstraintOp, ConstraintSet,
+    FeasibilityIndex, MachinePopulation, PopulationProfile, VectorDemand,
 };
 use phoenix_core::{CrvMonitor, WaitEstimator};
 use phoenix_sim::{Probe, ProbeId, SimDuration, SimTime, WorkerId};
@@ -90,6 +91,56 @@ fn bench_feasibility(c: &mut Criterion) {
             i = (i + 1) % sets.len();
             black_box(index.feasible(&sets[i]).len())
         });
+    });
+    group.finish();
+}
+
+fn bench_feasibility_expr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feasibility_expr");
+    let mut rng = StdRng::seed_from_u64(1);
+    let population =
+        MachinePopulation::generate(PopulationProfile::google_like(), 15_000, &mut rng);
+    let index = FeasibilityIndex::new(population.into_machines());
+    // The depth-3 shape the yahoo-expr3 workload family draws:
+    // All(Any(leaf, leaf), Not(leaf), vector) — an OR plan, an AND-NOT
+    // plan and a multi-dimension vector fold under one intersection.
+    let depth3 = ConstraintSet::from_expr(ConstraintExpr::all_of(vec![
+        ConstraintExpr::any_of(vec![
+            ConstraintExpr::leaf(Constraint::hard(
+                ConstraintKind::Architecture,
+                ConstraintOp::Eq,
+                0,
+            )),
+            ConstraintExpr::leaf(Constraint::hard(
+                ConstraintKind::PlatformFamily,
+                ConstraintOp::Eq,
+                1,
+            )),
+        ]),
+        ConstraintExpr::not(ConstraintExpr::leaf(Constraint::hard(
+            ConstraintKind::Architecture,
+            ConstraintOp::Eq,
+            2,
+        ))),
+        ConstraintExpr::vector(VectorDemand {
+            cores: 8,
+            memory_gb: 16,
+            ..VectorDemand::default()
+        }),
+    ]));
+    // The flat conjunction with the same leaf count: the acceptance bar
+    // is cold expression cost within 10x of this (EXPERIMENTS.md).
+    let flat = ConstraintSet::from_constraints(vec![
+        Constraint::hard(ConstraintKind::Architecture, ConstraintOp::Eq, 0),
+        Constraint::hard(ConstraintKind::PlatformFamily, ConstraintOp::Eq, 1),
+        Constraint::hard(ConstraintKind::NumCores, ConstraintOp::Gt, 7),
+        Constraint::hard(ConstraintKind::Memory, ConstraintOp::Gt, 15),
+    ]);
+    group.bench_function("cold_depth3_expr_15k", |b| {
+        b.iter(|| black_box(index.count_feasible_uncached(black_box(&depth3))));
+    });
+    group.bench_function("cold_flat_and_15k", |b| {
+        b.iter(|| black_box(index.count_feasible_uncached(black_box(&flat))));
     });
     group.finish();
 }
@@ -188,6 +239,7 @@ criterion_group!(
     micro,
     bench_engine_throughput,
     bench_feasibility,
+    bench_feasibility_expr,
     bench_crv_monitor,
     bench_monitor_refresh,
     bench_estimator,

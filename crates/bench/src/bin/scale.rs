@@ -182,6 +182,27 @@ fn main() {
             }
         }
     }
+    // Constraint-depth ladder: the yahoo profile with compositional
+    // constraint expressions enabled at depths 1–3 (vector packing →
+    // affinity/anti-affinity combinators → combined trees), at a quarter
+    // of the job ladder. Pins the wall-clock and digest cost of compiling
+    // expression trees to the posting-list index as tree depth grows.
+    for depth in 1..=3usize {
+        let profile = TraceProfile::yahoo_expr(depth);
+        let nodes = scale.nodes_for(&profile);
+        let jobs = (scale.jobs / 4).max(1);
+        for seed in scale.seed_list() {
+            let mut spec = RunSpec::new(profile.clone(), SchedulerKind::Phoenix).with_seed(seed);
+            spec.nodes = nodes;
+            spec.gen_nodes = nodes;
+            spec.jobs = jobs;
+            spec.gen_util = 0.9;
+            spec.gen_seed = Some(seed ^ (jobs as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            spec.record_task_waits = false;
+            spec.faults = scale.faults;
+            specs.push(spec.with_profiling());
+        }
+    }
     let outcomes = run_specs_parallel(&specs, parallel);
     let mut runs: Vec<ScaleRun> = Vec::new();
     for (spec, (result, timing)) in specs.into_iter().zip(outcomes) {

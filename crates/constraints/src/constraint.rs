@@ -1,9 +1,11 @@
 //! Task-side constraints: kinds, operators, hard/soft classes and sets.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::attr::{AttributeVector, Isa};
 use crate::crv::CrvDimension;
+use crate::expr::ConstraintExpr;
 
 /// The constraint kinds observed in the Google cluster trace (Table II of
 /// the paper), plus an explicit memory kind so that the paper's
@@ -327,10 +329,25 @@ impl fmt::Display for PlacementConstraint {
 ///
 /// The set is kept sorted by kind so that equality and hashing are
 /// order-insensitive and so iteration order is deterministic.
+///
+/// # Compositional expressions
+///
+/// A set is usually a flat AND of constraints (the paper's model). It may
+/// instead carry a compositional [`ConstraintExpr`] tree (affinity `Any`,
+/// anti-affinity `Not`, vector packing) — see
+/// [`ConstraintSet::from_expr`]. For such sets, `constraints` holds the
+/// expression's conservative [`ConstraintExpr::projection`] so that every
+/// flat-iteration consumer (CRV demand accounting, supply estimation,
+/// constraint statistics) keeps working; satisfaction queries evaluate the
+/// tree itself. Pure conjunctions are normalized to flat sets at
+/// construction, so flat workloads never observe the expression path.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct ConstraintSet {
     constraints: Vec<Constraint>,
     placement: PlacementConstraint,
+    /// The compositional tree, if this set is not a pure conjunction.
+    /// `Arc` keeps set cloning (pervasive in the simulator) cheap.
+    expr: Option<Arc<ConstraintExpr>>,
 }
 
 impl ConstraintSet {
@@ -346,7 +363,37 @@ impl ConstraintSet {
         ConstraintSet {
             constraints,
             placement: PlacementConstraint::None,
+            expr: None,
         }
+    }
+
+    /// Builds a set from a compositional expression.
+    ///
+    /// Pure conjunctions (any nesting of `All`, scalar leaves and vector
+    /// demands — no `Any`/`Not`) are normalized to flat sets, so
+    /// `from_expr(ConstraintExpr::all(v))` is byte-identical to
+    /// [`ConstraintSet::from_constraints`]`(v)` everywhere (digests
+    /// included). Genuinely compositional trees are retained and their
+    /// [`ConstraintExpr::projection`] becomes the flat view seen by
+    /// [`ConstraintSet::iter`].
+    pub fn from_expr(expr: ConstraintExpr) -> Self {
+        if let Some(flat) = expr.as_conjunction() {
+            return Self::from_constraints(flat);
+        }
+        let mut projection = expr.projection();
+        projection.sort_by_key(|c| (c.kind.index(), c.value));
+        ConstraintSet {
+            constraints: projection,
+            placement: PlacementConstraint::None,
+            expr: Some(Arc::new(expr)),
+        }
+    }
+
+    /// The compositional expression, when this set carries one. Flat sets
+    /// (including every set built by [`ConstraintSet::from_constraints`])
+    /// return `None`.
+    pub fn expr(&self) -> Option<&ConstraintExpr> {
+        self.expr.as_deref()
     }
 
     /// Attaches a placement constraint.
@@ -360,10 +407,12 @@ impl ConstraintSet {
         self.placement
     }
 
-    /// Whether the set is empty (and placement-free), i.e. the task is
-    /// unconstrained.
+    /// Whether the set is empty (and placement- and expression-free), i.e.
+    /// the task is unconstrained.
     pub fn is_unconstrained(&self) -> bool {
-        self.constraints.is_empty() && self.placement == PlacementConstraint::None
+        self.constraints.is_empty()
+            && self.placement == PlacementConstraint::None
+            && self.expr.is_none()
     }
 
     /// Number of attribute constraints in the set.
@@ -381,17 +430,27 @@ impl ConstraintSet {
         self.constraints.iter()
     }
 
-    /// Whether `machine` satisfies every constraint in the set.
+    /// Whether `machine` satisfies the set: every constraint of a flat set,
+    /// or the compositional expression when one is carried.
     pub fn satisfied_by(&self, machine: &AttributeVector) -> bool {
-        self.constraints.iter().all(|c| c.satisfied_by(machine))
+        match &self.expr {
+            Some(expr) => expr.eval(machine),
+            None => self.constraints.iter().all(|c| c.satisfied_by(machine)),
+        }
     }
 
-    /// Whether `machine` satisfies every *hard* constraint in the set.
+    /// Whether `machine` satisfies the *hard relaxation* of the set: every
+    /// hard constraint of a flat set, or the expression with its soft
+    /// literals relaxed (see [`ConstraintExpr::hard_eval`]).
     pub fn hard_satisfied_by(&self, machine: &AttributeVector) -> bool {
-        self.constraints
-            .iter()
-            .filter(|c| c.class == ConstraintClass::Hard)
-            .all(|c| c.satisfied_by(machine))
+        match &self.expr {
+            Some(expr) => expr.hard_eval(machine),
+            None => self
+                .constraints
+                .iter()
+                .filter(|c| c.class == ConstraintClass::Hard)
+                .all(|c| c.satisfied_by(machine)),
+        }
     }
 
     /// The constraints of the set violated by `machine`.
@@ -407,7 +466,13 @@ impl ConstraintSet {
     /// constraint to relax.
     ///
     /// Used by Phoenix's admission controller to negotiate resources.
+    /// Expression sets return `None`: single-constraint removal is not
+    /// meaningful on a tree — admission negotiates those per `Any` branch
+    /// instead.
     pub fn relax_soft(&self, soft_index: usize) -> Option<ConstraintSet> {
+        if self.expr.is_some() {
+            return None;
+        }
         let mut seen = 0usize;
         for (i, c) in self.constraints.iter().enumerate() {
             if c.class == ConstraintClass::Soft {
@@ -417,6 +482,7 @@ impl ConstraintSet {
                     return Some(ConstraintSet {
                         constraints,
                         placement: self.placement,
+                        expr: None,
                     });
                 }
                 seen += 1;
@@ -426,9 +492,11 @@ impl ConstraintSet {
     }
 
     /// Returns a copy of the set with the given soft constraint removed, or
-    /// `None` if the exact constraint is not present as a soft constraint.
+    /// `None` if the exact constraint is not present as a soft constraint
+    /// (always `None` for expression sets, as with
+    /// [`ConstraintSet::relax_soft`]).
     pub fn relax_constraint(&self, target: &Constraint) -> Option<ConstraintSet> {
-        if target.class != ConstraintClass::Soft {
+        if self.expr.is_some() || target.class != ConstraintClass::Soft {
             return None;
         }
         let i = self.constraints.iter().position(|c| c == target)?;
@@ -437,13 +505,17 @@ impl ConstraintSet {
         Some(ConstraintSet {
             constraints,
             placement: self.placement,
+            expr: None,
         })
     }
 
-    /// Returns the subset containing only the hard constraints (placement
-    /// preserved). This is the maximally relaxed set admission control may
-    /// fall back to.
+    /// Returns the maximally relaxed set admission control may fall back
+    /// to: the hard subset of a flat set, or the expression's
+    /// [`ConstraintExpr::hard_relaxation`] (placement preserved).
     pub fn hard_only(&self) -> ConstraintSet {
+        if let Some(expr) = &self.expr {
+            return Self::from_expr(expr.hard_relaxation()).with_placement(self.placement);
+        }
         ConstraintSet {
             constraints: self
                 .constraints
@@ -452,6 +524,7 @@ impl ConstraintSet {
                 .copied()
                 .collect(),
             placement: self.placement,
+            expr: None,
         }
     }
 
@@ -483,6 +556,16 @@ impl FromIterator<Constraint> for ConstraintSet {
 
 impl Extend<Constraint> for ConstraintSet {
     fn extend<T: IntoIterator<Item = Constraint>>(&mut self, iter: T) {
+        if let Some(expr) = self.expr.take() {
+            // Extending an expression set conjoins the new leaves with the
+            // tree (and re-derives the projection) rather than corrupting
+            // the flat view.
+            let mut children = vec![ConstraintExpr::clone(&expr)];
+            children.extend(iter.into_iter().map(ConstraintExpr::Leaf));
+            *self = ConstraintSet::from_expr(ConstraintExpr::All(children))
+                .with_placement(self.placement);
+            return;
+        }
         self.constraints.extend(iter);
         self.constraints.sort_by_key(|c| (c.kind.index(), c.value));
     }
@@ -503,6 +586,13 @@ impl fmt::Display for ConstraintSet {
             return f.write_str("{unconstrained}");
         }
         f.write_str("{")?;
+        if let Some(expr) = &self.expr {
+            write!(f, "{expr}")?;
+            if self.placement != PlacementConstraint::None {
+                write!(f, ", placement={}", self.placement)?;
+            }
+            return f.write_str("}");
+        }
         for (i, c) in self.constraints.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;

@@ -1,0 +1,767 @@
+//! Compositional constraint expressions: `All`/`Any`/`Not` trees over leaf
+//! [`Constraint`]s plus multi-dimensional [`VectorDemand`] packing leaves.
+//!
+//! The paper's constraint model is a flat AND of `(kind, op, value)`
+//! triples. Real heterogeneous clusters also need *affinity* (`Any` over a
+//! family of platforms), *anti-affinity* (`Not` of a platform) and *vector
+//! packing* (per-dimension demands that must fit within machine capacity
+//! vectors, after Shafiee & Ghaderi). [`ConstraintExpr`] provides the
+//! algebra; [`crate::matching::FeasibilityIndex`] compiles it to bitset
+//! plans over the posting-list index:
+//!
+//! * `All`  — word-wise AND of child plans (the existing intersection path),
+//! * `Any`  — word-wise OR of child plans,
+//! * `Not`  — word-wise AND-NOT against the full-population universe mask
+//!   (machine *liveness* is a simulation-time concern handled by the
+//!   samplers' `exclude` predicates, never by the index — so a complement
+//!   can never resurrect a dead machine),
+//! * `Vector` — intersection of one `>=` range per demanded dimension.
+//!
+//! The naive recursive [`ConstraintExpr::eval`] is the reference semantics;
+//! the compiled plans are property-tested against it by the `expr_oracle`
+//! suite.
+
+use std::fmt;
+
+use crate::attr::AttributeVector;
+use crate::constraint::{Constraint, ConstraintClass, ConstraintKind, ConstraintOp};
+
+/// A multi-dimensional resource demand (vector packing leaf).
+///
+/// Each field is a minimum capacity the machine must provide; a zero
+/// dimension is unconstrained. Satisfaction is per-dimension `capacity >=
+/// demand`, i.e. the demand vector must fit component-wise within the
+/// machine's capacity vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VectorDemand {
+    /// Minimum CPU core count (0 = don't care).
+    pub cores: u64,
+    /// Minimum installed memory in GB (0 = don't care).
+    pub memory_gb: u64,
+    /// Minimum attached disk count (0 = don't care).
+    pub disks: u64,
+    /// Minimum CPU base clock in MHz (0 = don't care).
+    pub clock_mhz: u64,
+    /// Minimum NIC speed in Mbps (0 = don't care).
+    pub ethernet_mbps: u64,
+}
+
+impl VectorDemand {
+    /// The constraint kind backing each demand dimension, in field order.
+    const DIMS: [ConstraintKind; 5] = [
+        ConstraintKind::NumCores,
+        ConstraintKind::Memory,
+        ConstraintKind::MinDisks,
+        ConstraintKind::CpuClockSpeed,
+        ConstraintKind::EthernetSpeed,
+    ];
+
+    /// The demand along each dimension, in [`Self::DIMS`] order.
+    fn components(&self) -> [u64; 5] {
+        [
+            self.cores,
+            self.memory_gb,
+            self.disks,
+            self.clock_mhz,
+            self.ethernet_mbps,
+        ]
+    }
+
+    /// Whether the demand vector fits within `machine`'s capacity vector
+    /// (component-wise `capacity >= demand`; zero dimensions always fit).
+    pub fn satisfied_by(&self, machine: &AttributeVector) -> bool {
+        Self::DIMS
+            .iter()
+            .zip(self.components())
+            .all(|(&kind, demand)| {
+                demand == 0 || Constraint::machine_attribute(kind, machine) >= demand
+            })
+    }
+
+    /// Lowers the demand to equivalent hard scalar constraints: one
+    /// `kind > demand - 1` per nonzero dimension (`>=` expressed with the
+    /// index's strict `Gt`). The conjunction of the result is exactly
+    /// [`Self::satisfied_by`].
+    pub fn to_constraints(&self) -> Vec<Constraint> {
+        Self::DIMS
+            .iter()
+            .zip(self.components())
+            .filter(|&(_, demand)| demand > 0)
+            .map(|(&kind, demand)| Constraint::hard(kind, ConstraintOp::Gt, demand - 1))
+            .collect()
+    }
+
+    /// Whether every dimension is zero (the demand fits anywhere).
+    pub fn is_empty(&self) -> bool {
+        self.components().iter().all(|&d| d == 0)
+    }
+}
+
+impl fmt::Display for VectorDemand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 5] = ["cores", "mem", "disks", "clock", "net"];
+        f.write_str("vec{")?;
+        let mut first = true;
+        for (name, demand) in NAMES.iter().zip(self.components()) {
+            if demand == 0 {
+                continue;
+            }
+            if !first {
+                f.write_str(";")?;
+            }
+            write!(f, "{name}={demand}")?;
+            first = false;
+        }
+        f.write_str("}")
+    }
+}
+
+/// A compositional constraint expression.
+///
+/// Semantics (over one machine's attribute vector):
+/// `All([])` is `true`, `Any([])` is `false`, and the combinators follow
+/// ordinary boolean logic. Hard/soft classes live on the leaves; see
+/// [`ConstraintExpr::hard_relaxation`] for how relaxation generalizes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ConstraintExpr {
+    /// A single scalar attribute constraint.
+    Leaf(Constraint),
+    /// A multi-dimensional packing demand (always hard).
+    Vector(VectorDemand),
+    /// Conjunction of children (`All([])` = true).
+    All(Vec<ConstraintExpr>),
+    /// Disjunction of children (`Any([])` = false).
+    Any(Vec<ConstraintExpr>),
+    /// Negation of the child.
+    Not(Box<ConstraintExpr>),
+}
+
+impl ConstraintExpr {
+    /// Wraps one scalar constraint as an expression.
+    pub fn leaf(constraint: Constraint) -> Self {
+        ConstraintExpr::Leaf(constraint)
+    }
+
+    /// Wraps a vector packing demand as an expression.
+    pub fn vector(demand: VectorDemand) -> Self {
+        ConstraintExpr::Vector(demand)
+    }
+
+    /// The degenerate-`All` tree over a flat constraint vector — the
+    /// expression equivalent of [`crate::ConstraintSet::from_constraints`].
+    pub fn all(constraints: Vec<Constraint>) -> Self {
+        ConstraintExpr::All(constraints.into_iter().map(ConstraintExpr::Leaf).collect())
+    }
+
+    /// Conjunction of sub-expressions.
+    pub fn all_of(children: Vec<ConstraintExpr>) -> Self {
+        ConstraintExpr::All(children)
+    }
+
+    /// Disjunction of sub-expressions.
+    pub fn any_of(children: Vec<ConstraintExpr>) -> Self {
+        ConstraintExpr::Any(children)
+    }
+
+    /// Negation of an expression.
+    ///
+    /// An associated constructor taking the child by value (symmetric with
+    /// [`ConstraintExpr::all_of`] / [`ConstraintExpr::any_of`]), not an
+    /// `ops::Not` impl — `!expr` reading as boolean negation of a tree
+    /// value would be misleading.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(child: ConstraintExpr) -> Self {
+        ConstraintExpr::Not(Box::new(child))
+    }
+
+    /// Naive recursive evaluation against one machine — the reference
+    /// semantics every compiled plan must agree with.
+    pub fn eval(&self, machine: &AttributeVector) -> bool {
+        match self {
+            ConstraintExpr::Leaf(c) => c.satisfied_by(machine),
+            ConstraintExpr::Vector(v) => v.satisfied_by(machine),
+            ConstraintExpr::All(children) => children.iter().all(|c| c.eval(machine)),
+            ConstraintExpr::Any(children) => children.iter().any(|c| c.eval(machine)),
+            ConstraintExpr::Not(child) => !child.eval(machine),
+        }
+    }
+
+    /// Whether `machine` satisfies the *hard relaxation* of the expression
+    /// (see [`Self::hard_relaxation`]); the expression analogue of
+    /// [`crate::ConstraintSet::hard_satisfied_by`].
+    pub fn hard_eval(&self, machine: &AttributeVector) -> bool {
+        fn go(expr: &ConstraintExpr, machine: &AttributeVector, negated: bool) -> bool {
+            match expr {
+                // A soft literal — under either polarity — may be relaxed,
+                // so it never blocks satisfaction.
+                ConstraintExpr::Leaf(c) if c.class == ConstraintClass::Soft => true,
+                ConstraintExpr::Leaf(c) => c.satisfied_by(machine) != negated,
+                ConstraintExpr::Vector(v) => v.satisfied_by(machine) != negated,
+                ConstraintExpr::All(children) if !negated => {
+                    children.iter().all(|c| go(c, machine, false))
+                }
+                ConstraintExpr::All(children) => children.iter().any(|c| go(c, machine, true)),
+                ConstraintExpr::Any(children) if !negated => {
+                    children.iter().any(|c| go(c, machine, false))
+                }
+                ConstraintExpr::Any(children) => children.iter().all(|c| go(c, machine, true)),
+                ConstraintExpr::Not(child) => go(child, machine, !negated),
+            }
+        }
+        go(self, machine, false)
+    }
+
+    /// The expression with every soft literal replaced by `true` — computed
+    /// in negation normal form, where the formula is monotone in its
+    /// literals, so the replacement soundly *weakens* it: any machine
+    /// satisfying the original satisfies the relaxation. This is the
+    /// expression analogue of [`crate::ConstraintSet::hard_only`], the
+    /// maximally relaxed form admission control may fall back to.
+    ///
+    /// The result is in NNF (negations pushed to hard leaves).
+    pub fn hard_relaxation(&self) -> ConstraintExpr {
+        fn go(expr: &ConstraintExpr, negated: bool) -> ConstraintExpr {
+            match expr {
+                ConstraintExpr::Leaf(c) if c.class == ConstraintClass::Soft => {
+                    ConstraintExpr::All(Vec::new())
+                }
+                ConstraintExpr::Leaf(c) if negated => {
+                    ConstraintExpr::Not(Box::new(ConstraintExpr::Leaf(*c)))
+                }
+                ConstraintExpr::Leaf(c) => ConstraintExpr::Leaf(*c),
+                ConstraintExpr::Vector(v) if negated => {
+                    ConstraintExpr::Not(Box::new(ConstraintExpr::Vector(*v)))
+                }
+                ConstraintExpr::Vector(v) => ConstraintExpr::Vector(*v),
+                ConstraintExpr::All(children) => {
+                    let children = children.iter().map(|c| go(c, negated)).collect();
+                    if negated {
+                        ConstraintExpr::Any(children)
+                    } else {
+                        ConstraintExpr::All(children)
+                    }
+                }
+                ConstraintExpr::Any(children) => {
+                    let children = children.iter().map(|c| go(c, negated)).collect();
+                    if negated {
+                        ConstraintExpr::All(children)
+                    } else {
+                        ConstraintExpr::Any(children)
+                    }
+                }
+                ConstraintExpr::Not(child) => go(child, !negated),
+            }
+        }
+        go(self, false)
+    }
+
+    /// The distinct kinds of soft leaves anywhere in the tree, in
+    /// first-occurrence order. These are the kinds whose relaxation cost
+    /// (Table II relative slowdown) applies if the hard relaxation is used.
+    pub fn soft_leaf_kinds(&self) -> Vec<ConstraintKind> {
+        let mut kinds = Vec::new();
+        self.visit_leaves(&mut |c| {
+            if c.class == ConstraintClass::Soft && !kinds.contains(&c.kind) {
+                kinds.push(c.kind);
+            }
+        });
+        kinds
+    }
+
+    /// Number of soft leaves in the tree (with multiplicity).
+    pub fn count_soft_leaves(&self) -> usize {
+        let mut n = 0usize;
+        self.visit_leaves(&mut |c| {
+            if c.class == ConstraintClass::Soft {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    fn visit_leaves(&self, f: &mut impl FnMut(&Constraint)) {
+        match self {
+            ConstraintExpr::Leaf(c) => f(c),
+            ConstraintExpr::Vector(_) => {}
+            ConstraintExpr::All(children) | ConstraintExpr::Any(children) => {
+                for c in children {
+                    c.visit_leaves(f);
+                }
+            }
+            ConstraintExpr::Not(child) => child.visit_leaves(f),
+        }
+    }
+
+    /// Conservative projection of the expression's demand onto flat
+    /// constraints, for CRV ledger accounting:
+    ///
+    /// * a leaf projects to itself, a [`VectorDemand`] to its lowered
+    ///   scalar constraints,
+    /// * `All` projects to the union of its children's projections,
+    /// * `Any` projects to its **minimum-demand branch** (fewest projected
+    ///   constraints, first on ties) — the job is guaranteed to consume at
+    ///   least that much, whichever branch is taken,
+    /// * `Not` projects to nothing (a complement demands no kind's supply).
+    pub fn projection(&self) -> Vec<Constraint> {
+        match self {
+            ConstraintExpr::Leaf(c) => vec![*c],
+            ConstraintExpr::Vector(v) => v.to_constraints(),
+            ConstraintExpr::All(children) => children.iter().flat_map(|c| c.projection()).collect(),
+            ConstraintExpr::Any(children) => children
+                .iter()
+                .map(|c| c.projection())
+                .min_by_key(|p| p.len())
+                .unwrap_or_default(),
+            ConstraintExpr::Not(_) => Vec::new(),
+        }
+    }
+
+    /// Tree depth: leaves are depth 1, combinators add one level.
+    pub fn depth(&self) -> usize {
+        match self {
+            ConstraintExpr::Leaf(_) | ConstraintExpr::Vector(_) => 1,
+            ConstraintExpr::All(children) | ConstraintExpr::Any(children) => {
+                1 + children
+                    .iter()
+                    .map(ConstraintExpr::depth)
+                    .max()
+                    .unwrap_or(0)
+            }
+            ConstraintExpr::Not(child) => 1 + child.depth(),
+        }
+    }
+
+    /// Number of leaves (scalar or vector) in the tree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            ConstraintExpr::Leaf(_) | ConstraintExpr::Vector(_) => 1,
+            ConstraintExpr::All(children) | ConstraintExpr::Any(children) => {
+                children.iter().map(ConstraintExpr::leaf_count).sum()
+            }
+            ConstraintExpr::Not(child) => child.leaf_count(),
+        }
+    }
+
+    /// If the expression is a pure conjunction of leaves (no `Any`/`Not`
+    /// anywhere), returns the flat constraint list it is equivalent to.
+    /// This is what lets [`crate::ConstraintSet::from_expr`] normalize
+    /// degenerate-`All` trees to flat sets, keeping their digests identical
+    /// to [`crate::ConstraintSet::from_constraints`].
+    pub fn as_conjunction(&self) -> Option<Vec<Constraint>> {
+        match self {
+            ConstraintExpr::Leaf(c) => Some(vec![*c]),
+            ConstraintExpr::Vector(v) => Some(v.to_constraints()),
+            ConstraintExpr::All(children) => {
+                let mut flat = Vec::new();
+                for child in children {
+                    flat.extend(child.as_conjunction()?);
+                }
+                Some(flat)
+            }
+            ConstraintExpr::Any(_) | ConstraintExpr::Not(_) => None,
+        }
+    }
+
+    /// Parses the compact form produced by [`fmt::Display`]:
+    /// `class:kind:op:value` leaves, `vec{dim=n;...}` demands and
+    /// `all(...)` / `any(...)` / `not(...)` combinators with `,`-separated
+    /// children. The grammar is whitespace-free so expressions embed in the
+    /// space-delimited trace text format.
+    pub fn parse(text: &str) -> Option<ConstraintExpr> {
+        let mut parser = Parser { rest: text };
+        let expr = parser.expr()?;
+        parser.rest.is_empty().then_some(expr)
+    }
+}
+
+/// Recursive-descent parser over the compact expression syntax.
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl Parser<'_> {
+    fn eat(&mut self, prefix: &str) -> bool {
+        match self.rest.strip_prefix(prefix) {
+            Some(rest) => {
+                self.rest = rest;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn expr(&mut self) -> Option<ConstraintExpr> {
+        if self.eat("all(") {
+            return self.children().map(ConstraintExpr::All);
+        }
+        if self.eat("any(") {
+            return self.children().map(ConstraintExpr::Any);
+        }
+        if self.eat("not(") {
+            let child = self.expr()?;
+            self.eat(")").then(|| ConstraintExpr::not(child))
+        } else if self.eat("vec{") {
+            self.vector()
+        } else {
+            self.scalar_leaf()
+        }
+    }
+
+    /// Parses `,`-separated children up to the closing `)` (possibly zero).
+    fn children(&mut self) -> Option<Vec<ConstraintExpr>> {
+        let mut children = Vec::new();
+        if self.eat(")") {
+            return Some(children);
+        }
+        loop {
+            children.push(self.expr()?);
+            if self.eat(")") {
+                return Some(children);
+            }
+            if !self.eat(",") {
+                return None;
+            }
+        }
+    }
+
+    fn vector(&mut self) -> Option<ConstraintExpr> {
+        let mut demand = VectorDemand::default();
+        if self.eat("}") {
+            return Some(ConstraintExpr::Vector(demand));
+        }
+        loop {
+            let end = self.rest.find(['=', '}', ',', ')'])?;
+            let name = &self.rest[..end];
+            self.rest = &self.rest[end..];
+            if !self.eat("=") {
+                return None;
+            }
+            let digits = self.rest.len()
+                - self
+                    .rest
+                    .trim_start_matches(|c: char| c.is_ascii_digit())
+                    .len();
+            let value: u64 = self.rest[..digits].parse().ok()?;
+            self.rest = &self.rest[digits..];
+            match name {
+                "cores" => demand.cores = value,
+                "mem" => demand.memory_gb = value,
+                "disks" => demand.disks = value,
+                "clock" => demand.clock_mhz = value,
+                "net" => demand.ethernet_mbps = value,
+                _ => return None,
+            }
+            if self.eat("}") {
+                return Some(ConstraintExpr::Vector(demand));
+            }
+            if !self.eat(";") {
+                return None;
+            }
+        }
+    }
+
+    /// Parses a `class:kind:op:value` scalar leaf, stopping at the first
+    /// delimiter (`,` or `)`).
+    fn scalar_leaf(&mut self) -> Option<ConstraintExpr> {
+        let end = self.rest.find([',', ')']).unwrap_or(self.rest.len());
+        let token = &self.rest[..end];
+        self.rest = &self.rest[end..];
+        let mut parts = token.split(':');
+        let class = ConstraintClass::from_name(parts.next()?)?;
+        let kind = ConstraintKind::from_name(parts.next()?)?;
+        let op = ConstraintOp::from_symbol(parts.next()?)?;
+        let value: u64 = parts.next()?.parse().ok()?;
+        parts
+            .next()
+            .is_none()
+            .then(|| ConstraintExpr::Leaf(Constraint::new(kind, op, value, class)))
+    }
+}
+
+impl fmt::Display for ConstraintExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintExpr::Leaf(c) => write!(f, "{}:{}:{}:{}", c.class, c.kind, c.op, c.value),
+            ConstraintExpr::Vector(v) => write!(f, "{v}"),
+            ConstraintExpr::All(children) | ConstraintExpr::Any(children) => {
+                f.write_str(if matches!(self, ConstraintExpr::All(_)) {
+                    "all("
+                } else {
+                    "any("
+                })?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                f.write_str(")")
+            }
+            ConstraintExpr::Not(child) => write!(f, "not({child})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Isa;
+
+    fn machine() -> AttributeVector {
+        AttributeVector::builder()
+            .isa(Isa::X86)
+            .num_cores(16)
+            .memory_gb(64)
+            .num_disks(4)
+            .cpu_clock_mhz(2600)
+            .ethernet_mbps(10_000)
+            .build()
+    }
+
+    fn cores_gt(v: u64) -> Constraint {
+        Constraint::hard(ConstraintKind::NumCores, ConstraintOp::Gt, v)
+    }
+
+    #[test]
+    fn boolean_semantics_hold() {
+        let m = machine();
+        let t = ConstraintExpr::leaf(cores_gt(8));
+        let f_ = ConstraintExpr::leaf(cores_gt(100));
+        assert!(t.eval(&m) && !f_.eval(&m));
+        assert!(ConstraintExpr::All(vec![]).eval(&m), "empty All = true");
+        assert!(!ConstraintExpr::Any(vec![]).eval(&m), "empty Any = false");
+        assert!(ConstraintExpr::any_of(vec![f_.clone(), t.clone()]).eval(&m));
+        assert!(!ConstraintExpr::all_of(vec![f_.clone(), t.clone()]).eval(&m));
+        assert!(ConstraintExpr::not(f_).eval(&m));
+        assert!(!ConstraintExpr::not(t).eval(&m));
+    }
+
+    #[test]
+    fn vector_demand_fits_componentwise() {
+        let m = machine();
+        let fits = VectorDemand {
+            cores: 16,
+            memory_gb: 64,
+            disks: 4,
+            ..Default::default()
+        };
+        assert!(fits.satisfied_by(&m), ">= is inclusive");
+        let too_big = VectorDemand {
+            cores: 17,
+            ..Default::default()
+        };
+        assert!(!too_big.satisfied_by(&m));
+        assert!(
+            VectorDemand::default().satisfied_by(&m),
+            "empty demand fits"
+        );
+        assert!(VectorDemand::default().is_empty());
+    }
+
+    #[test]
+    fn vector_lowering_matches_direct_evaluation() {
+        let demand = VectorDemand {
+            cores: 8,
+            memory_gb: 32,
+            clock_mhz: 2_500,
+            ..Default::default()
+        };
+        let lowered = demand.to_constraints();
+        assert_eq!(lowered.len(), 3, "zero dims are dropped");
+        for cores in [7u32, 8, 9] {
+            for clock in [2_499u32, 2_500, 2_501] {
+                let m = AttributeVector::builder()
+                    .num_cores(cores)
+                    .memory_gb(32)
+                    .cpu_clock_mhz(clock)
+                    .build();
+                assert_eq!(
+                    lowered.iter().all(|c| c.satisfied_by(&m)),
+                    demand.satisfied_by(&m),
+                    "cores={cores} clock={clock}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hard_relaxation_drops_soft_literals_under_both_polarities() {
+        let soft = Constraint::soft(ConstraintKind::CpuClockSpeed, ConstraintOp::Gt, 9_999);
+        let hard = cores_gt(8);
+        let m = machine();
+        let expr =
+            ConstraintExpr::all_of(vec![ConstraintExpr::leaf(hard), ConstraintExpr::leaf(soft)]);
+        assert!(!expr.eval(&m), "soft clock bound fails as written");
+        assert!(expr.hard_eval(&m), "hard relaxation passes");
+        assert!(expr.hard_relaxation().eval(&m));
+
+        // A negated soft literal is equally relaxable.
+        let negated = ConstraintExpr::not(ConstraintExpr::leaf(Constraint::soft(
+            ConstraintKind::CpuClockSpeed,
+            ConstraintOp::Gt,
+            1,
+        )));
+        assert!(!negated.eval(&m));
+        assert!(negated.hard_eval(&m));
+        // A negated *hard* literal is not.
+        let negated_hard = ConstraintExpr::not(ConstraintExpr::leaf(cores_gt(8)));
+        assert!(!negated_hard.hard_eval(&m));
+        assert!(!negated_hard.hard_relaxation().eval(&m));
+    }
+
+    #[test]
+    fn hard_relaxation_is_weaker_on_every_machine() {
+        // Monotonicity spot-check over a structured expression.
+        let expr = ConstraintExpr::any_of(vec![
+            ConstraintExpr::all_of(vec![
+                ConstraintExpr::leaf(cores_gt(8)),
+                ConstraintExpr::leaf(Constraint::soft(
+                    ConstraintKind::EthernetSpeed,
+                    ConstraintOp::Gt,
+                    40_000,
+                )),
+            ]),
+            ConstraintExpr::not(ConstraintExpr::leaf(Constraint::hard(
+                ConstraintKind::Architecture,
+                ConstraintOp::Eq,
+                Isa::X86 as u64,
+            ))),
+        ]);
+        let relaxed = expr.hard_relaxation();
+        for cores in [4u32, 16] {
+            for isa in [Isa::X86, Isa::Arm] {
+                let m = AttributeVector::builder().num_cores(cores).isa(isa).build();
+                assert!(
+                    !expr.eval(&m) || relaxed.eval(&m),
+                    "relaxation must be implied: cores={cores} isa={isa:?}"
+                );
+                assert_eq!(relaxed.eval(&m), expr.hard_eval(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn projection_takes_min_demand_any_branch() {
+        let heavy = ConstraintExpr::all_of(vec![
+            ConstraintExpr::leaf(cores_gt(8)),
+            ConstraintExpr::leaf(Constraint::hard(
+                ConstraintKind::Memory,
+                ConstraintOp::Gt,
+                31,
+            )),
+        ]);
+        let light = ConstraintExpr::leaf(Constraint::hard(
+            ConstraintKind::PlatformFamily,
+            ConstraintOp::Eq,
+            2,
+        ));
+        let expr = ConstraintExpr::any_of(vec![heavy, light.clone()]);
+        let proj = expr.projection();
+        assert_eq!(proj.len(), 1);
+        assert_eq!(proj[0].kind, ConstraintKind::PlatformFamily);
+        // Not projects to nothing; All unions.
+        let combined = ConstraintExpr::all_of(vec![
+            expr,
+            ConstraintExpr::not(light),
+            ConstraintExpr::vector(VectorDemand {
+                disks: 2,
+                ..Default::default()
+            }),
+        ]);
+        let proj = combined.projection();
+        assert_eq!(proj.len(), 2, "min-branch + vector dim, Not dropped");
+    }
+
+    #[test]
+    fn depth_and_leaf_count() {
+        let leaf = ConstraintExpr::leaf(cores_gt(1));
+        assert_eq!(leaf.depth(), 1);
+        let tree = ConstraintExpr::all_of(vec![
+            ConstraintExpr::any_of(vec![leaf.clone(), leaf.clone()]),
+            ConstraintExpr::not(leaf.clone()),
+        ]);
+        assert_eq!(tree.depth(), 3);
+        assert_eq!(tree.leaf_count(), 3);
+        assert_eq!(ConstraintExpr::All(vec![]).depth(), 1);
+    }
+
+    #[test]
+    fn as_conjunction_flattens_pure_and_trees_only() {
+        let a = cores_gt(4);
+        let b = Constraint::soft(ConstraintKind::MaxDisks, ConstraintOp::Lt, 8);
+        let nested = ConstraintExpr::all_of(vec![
+            ConstraintExpr::leaf(a),
+            ConstraintExpr::all_of(vec![ConstraintExpr::leaf(b)]),
+        ]);
+        assert_eq!(nested.as_conjunction(), Some(vec![a, b]));
+        assert_eq!(
+            ConstraintExpr::vector(VectorDemand {
+                cores: 8,
+                ..Default::default()
+            })
+            .as_conjunction()
+            .map(|v| v.len()),
+            Some(1)
+        );
+        assert!(ConstraintExpr::any_of(vec![ConstraintExpr::leaf(a)])
+            .as_conjunction()
+            .is_none());
+        assert!(ConstraintExpr::not(ConstraintExpr::leaf(a))
+            .as_conjunction()
+            .is_none());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let exprs = [
+            ConstraintExpr::leaf(cores_gt(8)),
+            ConstraintExpr::leaf(Constraint::soft(
+                ConstraintKind::CpuClockSpeed,
+                ConstraintOp::Lt,
+                3_000,
+            )),
+            ConstraintExpr::vector(VectorDemand {
+                cores: 8,
+                memory_gb: 32,
+                ethernet_mbps: 1_000,
+                ..Default::default()
+            }),
+            ConstraintExpr::All(vec![]),
+            ConstraintExpr::Any(vec![]),
+            ConstraintExpr::all_of(vec![
+                ConstraintExpr::any_of(vec![
+                    ConstraintExpr::leaf(Constraint::hard(
+                        ConstraintKind::PlatformFamily,
+                        ConstraintOp::Eq,
+                        1,
+                    )),
+                    ConstraintExpr::leaf(Constraint::hard(
+                        ConstraintKind::PlatformFamily,
+                        ConstraintOp::Eq,
+                        2,
+                    )),
+                ]),
+                ConstraintExpr::not(ConstraintExpr::leaf(Constraint::hard(
+                    ConstraintKind::Architecture,
+                    ConstraintOp::Eq,
+                    Isa::Arm as u64,
+                ))),
+                ConstraintExpr::vector(VectorDemand {
+                    disks: 2,
+                    ..Default::default()
+                }),
+            ]),
+        ];
+        for expr in exprs {
+            let text = expr.to_string();
+            assert!(
+                !text.contains(' '),
+                "must embed in the trace format: {text}"
+            );
+            assert_eq!(ConstraintExpr::parse(&text), Some(expr), "{text}");
+        }
+        assert_eq!(ConstraintExpr::parse("bogus"), None);
+        assert_eq!(ConstraintExpr::parse("all(hard:arch:=:0"), None, "unclosed");
+        assert_eq!(ConstraintExpr::parse("all()trailing"), None);
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`crv`] — the paper's Constraint Resource Vector: the six-dimensional
 //!   demand/supply ratio vector `<cpu, mem, disk, os, clock, net>`
 //!   ([`Crv`], [`CrvDimension`]).
+//! * [`expr`] — compositional constraint expressions: `All`/`Any`/`Not`
+//!   trees and multi-dimensional [`VectorDemand`] packing leaves
+//!   ([`ConstraintExpr`]), compiled to bitset plans by the matcher.
 //! * [`matching`] — feasibility checks between machines and constraint sets.
 //! * [`model`] — the Google-trace constraint distribution (Table II and
 //!   Fig. 6 of the paper) and the synthesizer that embeds representative
@@ -49,6 +52,7 @@
 pub mod attr;
 pub mod constraint;
 pub mod crv;
+pub mod expr;
 pub mod matching;
 pub mod model;
 pub mod supply;
@@ -58,6 +62,7 @@ pub use constraint::{
     Constraint, ConstraintClass, ConstraintKind, ConstraintOp, ConstraintSet, PlacementConstraint,
 };
 pub use crv::{Crv, CrvDimension, CrvTable};
+pub use expr::{ConstraintExpr, VectorDemand};
 pub use matching::{feasible_fraction, FeasibilityIndex};
 pub use model::{
     supply_curve, table_ii_row, ConstraintModel, ConstraintStats, KindProfile,

@@ -51,6 +51,7 @@ use rand::Rng;
 
 use crate::attr::AttributeVector;
 use crate::constraint::{Constraint, ConstraintKind, ConstraintOp, ConstraintSet};
+use crate::expr::ConstraintExpr;
 
 /// Fraction of `machines` that satisfy `set`, in `[0, 1]`.
 ///
@@ -289,11 +290,88 @@ impl FeasibilityIndex {
         set.satisfied_by(&self.machines[worker as usize])
     }
 
+    /// The all-machines bitset (every population bit set, tail trimmed).
+    /// This is the universe `Not` complements against: the *full*
+    /// population, never a liveness-filtered view — machine death is a
+    /// sampling-time `exclude` concern, so a complement cannot resurrect a
+    /// dead machine that the exclusion predicate would reject.
+    fn universe_bits(&self) -> Vec<u64> {
+        let mut bits = vec![!0u64; self.words];
+        let rem = self.machines.len() % 64;
+        if rem != 0 {
+            bits[self.words - 1] = (1u64 << rem) - 1;
+        }
+        bits
+    }
+
+    /// Recursively compiles an expression to its match bitset:
+    /// `All` = word-wise AND of child plans, `Any` = word-wise OR,
+    /// `Not` = AND-NOT against the universe mask, leaves = posting-range
+    /// lookups. Cost is O(N/64) per tree node plus the leaf range scatters
+    /// — no per-machine predicate evaluation on any path.
+    fn compute_expr_bits(&self, expr: &ConstraintExpr) -> Vec<u64> {
+        match expr {
+            ConstraintExpr::Leaf(c) => {
+                let mut bits = vec![0u64; self.words];
+                let postings = &self.kinds[c.kind.index()];
+                postings.write_bits(postings.group_range(c), self.words, &mut bits);
+                bits
+            }
+            ConstraintExpr::Vector(v) => {
+                let mut acc = self.universe_bits();
+                for c in v.to_constraints() {
+                    let mut bits = vec![0u64; self.words];
+                    let postings = &self.kinds[c.kind.index()];
+                    postings.write_bits(postings.group_range(&c), self.words, &mut bits);
+                    for (a, b) in acc.iter_mut().zip(&bits) {
+                        *a &= b;
+                    }
+                }
+                acc
+            }
+            ConstraintExpr::All(children) => {
+                let mut acc = self.universe_bits();
+                for child in children {
+                    let bits = self.compute_expr_bits(child);
+                    for (a, b) in acc.iter_mut().zip(&bits) {
+                        *a &= b;
+                    }
+                }
+                acc
+            }
+            ConstraintExpr::Any(children) => {
+                // Empty Any stays all-zero: the false constant.
+                let mut acc = vec![0u64; self.words];
+                for child in children {
+                    let bits = self.compute_expr_bits(child);
+                    for (a, b) in acc.iter_mut().zip(&bits) {
+                        *a |= b;
+                    }
+                }
+                acc
+            }
+            ConstraintExpr::Not(child) => {
+                let child_bits = self.compute_expr_bits(child);
+                let mut acc = self.universe_bits();
+                for (a, b) in acc.iter_mut().zip(&child_bits) {
+                    *a &= !b;
+                }
+                acc
+            }
+        }
+    }
+
     /// Computes (uncached) the bitset of machines satisfying `set`.
     fn compute_bits(&self, set: &ConstraintSet) -> Vec<u64> {
         let mut bits = vec![0u64; self.words];
         if self.machines.is_empty() {
             return bits;
+        }
+        // Expression sets compile recursively; this must run before the
+        // is_empty() shortcut (a pure-Not tree has an empty projection but
+        // is not the unconstrained set).
+        if let Some(expr) = set.expr() {
+            return self.compute_expr_bits(expr);
         }
         if set.is_empty() {
             bits.fill(!0u64);

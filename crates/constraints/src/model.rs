@@ -16,6 +16,7 @@ use crate::attr::Isa;
 use crate::constraint::{
     Constraint, ConstraintKind, ConstraintOp, ConstraintSet, PlacementConstraint,
 };
+use crate::expr::{ConstraintExpr, VectorDemand};
 use crate::matching::feasible_fraction;
 use crate::supply::{weighted_pick, MachinePopulation};
 
@@ -117,6 +118,17 @@ pub struct ConstraintModel {
     pub count_distribution: [f64; 6],
     /// Per-kind weights (Table II shares by default).
     pub kind_weights: Vec<(ConstraintKind, f64)>,
+    /// Probability that a constrained job carries a *compositional*
+    /// expression (affinity `Any`, anti-affinity `Not`, vector packing)
+    /// instead of a flat set. 0.0 in every paper-faithful profile — the
+    /// Google trace model is flat — and, critically for digest stability,
+    /// the gating RNG draw only happens when this is positive, so flat
+    /// profiles consume the exact historical draw sequence.
+    pub expression_fraction: f64,
+    /// Target tree depth for synthesized expressions (clamped to `1..=3`):
+    /// 1 = vector packing leaves, 2 = affinity/anti-affinity combinators,
+    /// 3 = combined trees (`All` over `Any`/`Not` branches).
+    pub expression_depth: usize,
 }
 
 impl ConstraintModel {
@@ -128,6 +140,8 @@ impl ConstraintModel {
             placement_fraction: 0.05,
             count_distribution: CONSTRAINT_COUNT_DISTRIBUTION,
             kind_weights: TABLE_II.iter().map(|p| (p.kind, p.share_percent)).collect(),
+            expression_fraction: 0.0,
+            expression_depth: 2,
         }
     }
 
@@ -157,7 +171,18 @@ impl ConstraintModel {
             placement_fraction: 0.0,
             count_distribution: CONSTRAINT_COUNT_DISTRIBUTION,
             kind_weights: TABLE_II.iter().map(|p| (p.kind, p.share_percent)).collect(),
+            expression_fraction: 0.0,
+            expression_depth: 2,
         }
+    }
+
+    /// Returns the model with compositional expressions enabled: a
+    /// `fraction` of constrained jobs draw an expression tree of the given
+    /// target `depth` instead of a flat set.
+    pub fn with_expressions(mut self, fraction: f64, depth: usize) -> Self {
+        self.expression_fraction = fraction;
+        self.expression_depth = depth.clamp(1, 3);
+        self
     }
 
     /// Value choices for a kind: `(op, value, weight)` rows.
@@ -282,29 +307,115 @@ impl ConstraintModel {
         rng: &mut R,
         max_count: usize,
     ) -> ConstraintSet {
+        // The expression gate only consumes a draw when enabled, keeping
+        // flat profiles' RNG streams byte-identical to the historical path.
+        if self.expression_fraction > 0.0 && rng.random::<f64>() < self.expression_fraction {
+            return self.synthesize_expression(rng);
+        }
         let count = self.sample_count(rng).min(max_count.max(1));
         let kinds = self.sample_kinds(count, rng);
         let constraints = kinds
             .into_iter()
-            .map(|kind| {
-                let table: Vec<((ConstraintOp, u64), f64)> = Self::value_choices(kind)
-                    .iter()
-                    .map(|(op, v, w)| ((*op, *v), *w))
-                    .collect();
-                let (op, value) = weighted_pick(&table, rng);
-                Constraint::with_default_class(kind, op, value)
-            })
+            .map(|kind| Self::sample_constraint(kind, rng))
             .collect();
-        let mut set = ConstraintSet::from_constraints(constraints);
+        let set = ConstraintSet::from_constraints(constraints);
+        self.maybe_with_placement(set, rng)
+    }
+
+    /// Samples one `(op, value)` choice for a kind, with the kind's default
+    /// class.
+    fn sample_constraint<R: Rng + ?Sized>(kind: ConstraintKind, rng: &mut R) -> Constraint {
+        let table: Vec<((ConstraintOp, u64), f64)> = Self::value_choices(kind)
+            .iter()
+            .map(|(op, v, w)| ((*op, *v), *w))
+            .collect();
+        let (op, value) = weighted_pick(&table, rng);
+        Constraint::with_default_class(kind, op, value)
+    }
+
+    /// Draws the placement-constraint attachment for a freshly synthesized
+    /// set (same draw sequence as the historical inline code).
+    fn maybe_with_placement<R: Rng + ?Sized>(
+        &self,
+        set: ConstraintSet,
+        rng: &mut R,
+    ) -> ConstraintSet {
         if rng.random::<f64>() < self.placement_fraction {
             let placement = if rng.random::<bool>() {
                 PlacementConstraint::Spread
             } else {
                 PlacementConstraint::Colocate
             };
-            set = set.with_placement(placement);
+            return set.with_placement(placement);
         }
         set
+    }
+
+    /// Samples a platform-affinity leaf: `platform = v` with Table II's
+    /// value mix.
+    fn sample_platform_leaf<R: Rng + ?Sized>(rng: &mut R) -> ConstraintExpr {
+        ConstraintExpr::leaf(Self::sample_constraint(ConstraintKind::PlatformFamily, rng))
+    }
+
+    /// Samples a vector packing demand. Dimensions can be zero
+    /// (unconstrained); the value pools are calibrated against
+    /// [`crate::supply::PopulationProfile::google_like`] so that demands
+    /// stay satisfiable by a healthy machine-class share.
+    fn sample_vector_demand<R: Rng + ?Sized>(rng: &mut R) -> VectorDemand {
+        VectorDemand {
+            cores: weighted_pick(&[(4u64, 0.4), (8, 0.4), (16, 0.2)], rng),
+            memory_gb: weighted_pick(&[(0u64, 0.3), (16, 0.4), (32, 0.3)], rng),
+            disks: weighted_pick(&[(0u64, 0.6), (2, 0.25), (4, 0.15)], rng),
+            clock_mhz: weighted_pick(&[(0u64, 0.7), (2_100, 0.2), (2_500, 0.1)], rng),
+            ethernet_mbps: weighted_pick(&[(0u64, 0.7), (1_000, 0.2), (10_000, 0.1)], rng),
+        }
+    }
+
+    /// Synthesizes a compositional constraint expression of the model's
+    /// target depth. Families:
+    ///
+    /// * depth 1 — **packing**: a bare [`VectorDemand`] (lowered to a flat
+    ///   conjunction by [`ConstraintSet::from_expr`]),
+    /// * depth 2 — **affinity** (`Any` over platform families),
+    ///   **anti-affinity** (`Not` of a platform), or a packing
+    ///   disjunction (`Any` over two demand shapes),
+    /// * depth 3 — combined trees: `All` over an affinity `Any` plus a
+    ///   scalar leaf (hard or soft, so OR-branch negotiation is exercised)
+    ///   or an anti-affinity `Not`.
+    pub fn synthesize_expression<R: Rng + ?Sized>(&self, rng: &mut R) -> ConstraintSet {
+        let depth = self.expression_depth.clamp(1, 3);
+        let expr = match depth {
+            1 => ConstraintExpr::vector(Self::sample_vector_demand(rng)),
+            2 => match weighted_pick(&[(0u8, 0.4), (1, 0.3), (2, 0.3)], rng) {
+                0 => ConstraintExpr::any_of(vec![
+                    Self::sample_platform_leaf(rng),
+                    Self::sample_platform_leaf(rng),
+                ]),
+                1 => ConstraintExpr::not(Self::sample_platform_leaf(rng)),
+                _ => ConstraintExpr::any_of(vec![
+                    ConstraintExpr::vector(Self::sample_vector_demand(rng)),
+                    ConstraintExpr::vector(Self::sample_vector_demand(rng)),
+                ]),
+            },
+            _ => {
+                let affinity = ConstraintExpr::any_of(vec![
+                    Self::sample_platform_leaf(rng),
+                    Self::sample_platform_leaf(rng),
+                ]);
+                let partner = if rng.random::<bool>() {
+                    let kind = self.sample_kinds(1, rng)[0];
+                    ConstraintExpr::leaf(Self::sample_constraint(kind, rng))
+                } else {
+                    ConstraintExpr::not(ConstraintExpr::leaf(Self::sample_constraint(
+                        ConstraintKind::Architecture,
+                        rng,
+                    )))
+                };
+                ConstraintExpr::all_of(vec![affinity, partner])
+            }
+        };
+        let set = ConstraintSet::from_expr(expr);
+        self.maybe_with_placement(set, rng)
     }
 
     /// Synthesizes a set for an arbitrary job: unconstrained with

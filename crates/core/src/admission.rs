@@ -7,8 +7,17 @@
 //! constraints run with the Table-II slowdown of the dropped kinds.
 //! Hard constraints are never relaxed; a job whose hard subset is
 //! unsatisfiable is failed.
+//!
+//! # Expression sets
+//!
+//! Sets carrying a compositional [`ConstraintExpr`] negotiate differently:
+//! single-constraint removal is not meaningful on a tree. For a top-level
+//! `Any`, admission picks the *cheapest satisfiable branch* — ranked by the
+//! CRV contention of the kinds the branch demands — instead of dropping
+//! soft constraints wholesale; otherwise it falls back to the whole
+//! expression's hard relaxation (soft literals replaced by `true`).
 
-use phoenix_constraints::{ConstraintModel, ConstraintSet, CrvTable};
+use phoenix_constraints::{ConstraintExpr, ConstraintModel, ConstraintSet, CrvTable};
 use phoenix_schedulers::Placement;
 use phoenix_sim::SimCtx;
 
@@ -37,23 +46,15 @@ pub fn negotiate_targets(
     table: &CrvTable,
     mut exclude: impl FnMut(u32) -> bool,
 ) -> Option<Negotiation> {
+    if set.expr().is_some() {
+        return negotiate_expr_targets(ctx, set, count, table, exclude);
+    }
     let mut current = set.clone();
     let mut relaxed = 0usize;
     let mut slowdown = 1.0f64;
     loop {
         if ctx.feasibility().count_feasible(&current) > 0 {
-            let mut targets = ctx.sample_feasible_workers_excluding(&current, count, &mut exclude);
-            if targets.is_empty() {
-                targets = ctx.sample_feasible_workers(&current, count);
-            }
-            if targets.is_empty() {
-                // Only reachable under fault injection: every feasible
-                // worker is down. Target dead workers anyway — the engine
-                // bounces the probes into the retry path.
-                debug_assert!(ctx.config().faults.is_active(), "feasibility checked above");
-                targets = ctx.sample_feasible_workers_any(&current, count);
-            }
-            debug_assert!(!targets.is_empty());
+            let targets = sample_targets(ctx, &current, count, &mut exclude);
             let placement = if relaxed == 0 {
                 Placement::Full(targets)
             } else {
@@ -84,6 +85,124 @@ pub fn negotiate_targets(
             .expect("victim is a soft constraint of the set");
         relaxed += 1;
     }
+}
+
+/// The shared target-sampling ladder: prefer non-excluded feasible workers,
+/// fall back to any feasible worker, and — only under fault injection —
+/// to dead feasible workers (the engine bounces those probes into the
+/// retry path). The caller must have checked `count_feasible > 0`.
+fn sample_targets(
+    ctx: &mut SimCtx<'_>,
+    set: &ConstraintSet,
+    count: usize,
+    exclude: &mut impl FnMut(u32) -> bool,
+) -> Vec<phoenix_sim::WorkerId> {
+    let mut targets = ctx.sample_feasible_workers_excluding(set, count, exclude);
+    if targets.is_empty() {
+        targets = ctx.sample_feasible_workers(set, count);
+    }
+    if targets.is_empty() {
+        debug_assert!(ctx.config().faults.is_active(), "feasibility checked above");
+        targets = ctx.sample_feasible_workers_any(set, count);
+    }
+    debug_assert!(!targets.is_empty());
+    targets
+}
+
+/// Negotiation for sets carrying a compositional expression.
+///
+/// 1. The full expression feasible → `Placement::Full`, nothing relaxed
+///    (an `Any` compiles to the union of its branches, so a feasible
+///    branch implies this).
+/// 2. Top-level `Any`: among branches whose hard relaxation is feasible,
+///    pick the *cheapest* — lowest summed CRV contention over the kinds
+///    the branch demands, ties broken by fewer relaxed soft leaves, then
+///    branch order. The job runs under that branch's hard relaxation with
+///    the Table-II slowdown of the branch's own soft leaves only.
+/// 3. Otherwise the whole expression's hard relaxation, if feasible.
+/// 4. Else the job fails.
+fn negotiate_expr_targets(
+    ctx: &mut SimCtx<'_>,
+    set: &ConstraintSet,
+    count: usize,
+    table: &CrvTable,
+    mut exclude: impl FnMut(u32) -> bool,
+) -> Option<Negotiation> {
+    if ctx.feasibility().count_feasible(set) > 0 {
+        let targets = sample_targets(ctx, set, count, &mut exclude);
+        return Some(Negotiation {
+            placement: Placement::Full(targets),
+            effective: set.clone(),
+            relaxed: 0,
+        });
+    }
+    let expr = set
+        .expr()
+        .expect("caller checked the set carries an expression");
+    if let ConstraintExpr::Any(branches) = expr {
+        let mut best: Option<(f64, usize, usize, ConstraintSet, f64)> = None;
+        for (i, branch) in branches.iter().enumerate() {
+            let branch_set =
+                ConstraintSet::from_expr(branch.hard_relaxation()).with_placement(set.placement());
+            if ctx.feasibility().count_feasible(&branch_set) == 0 {
+                continue;
+            }
+            // CRV-guided branch cost: the summed demand/supply contention
+            // of the kinds this branch asks for. Infinite ratios (zero
+            // supply) are already filtered by the feasibility check above
+            // for hard kinds, but soft-relaxed branches stay comparable.
+            let cost: f64 = branch
+                .projection()
+                .iter()
+                .map(|c| table.ratio(c.kind))
+                .sum();
+            let relaxed = branch.count_soft_leaves();
+            let candidate_key = (cost, relaxed, i);
+            let better = match &best {
+                None => true,
+                Some((bc, br, bi, _, _)) => {
+                    candidate_key
+                        .partial_cmp(&(*bc, *br, *bi))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        == std::cmp::Ordering::Less
+                }
+            };
+            if better {
+                let slowdown = branch
+                    .soft_leaf_kinds()
+                    .iter()
+                    .map(|&k| ConstraintModel::relative_slowdown(k))
+                    .fold(1.0f64, f64::max);
+                best = Some((cost, relaxed, i, branch_set, slowdown));
+            }
+        }
+        if let Some((_, relaxed, _, branch_set, slowdown)) = best {
+            let targets = sample_targets(ctx, &branch_set, count, &mut exclude);
+            // Every branch was infeasible as written (stage 1 covers the
+            // union), so running under a branch's hard relaxation always
+            // counts as a negotiated placement.
+            return Some(Negotiation {
+                placement: Placement::HardOnly(targets, slowdown),
+                effective: branch_set,
+                relaxed: relaxed.max(1),
+            });
+        }
+    }
+    let hard = set.hard_only();
+    if ctx.feasibility().count_feasible(&hard) > 0 {
+        let targets = sample_targets(ctx, &hard, count, &mut exclude);
+        let slowdown = expr
+            .soft_leaf_kinds()
+            .iter()
+            .map(|&k| ConstraintModel::relative_slowdown(k))
+            .fold(1.0f64, f64::max);
+        return Some(Negotiation {
+            placement: Placement::HardOnly(targets, slowdown),
+            effective: hard,
+            relaxed: expr.count_soft_leaves().max(1),
+        });
+    }
+    None
 }
 
 #[cfg(test)]

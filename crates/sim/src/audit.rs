@@ -488,6 +488,23 @@ impl InvariantAuditor {
                 ),
             );
         }
+        if j.constraints.expr().is_some() {
+            // Expression sets: the flat view is a conservative projection,
+            // not a hard-constraint inventory, so containment is checked
+            // semantically instead — the machine must also satisfy the hard
+            // relaxation of whatever admission negotiated (e.g. the chosen
+            // `Any` branch).
+            if !j.effective_constraints.hard_satisfied_by(machine) {
+                self.violation(
+                    now,
+                    format!(
+                        "placement violates negotiated expression branch: job {} on {worker}",
+                        job.0
+                    ),
+                );
+            }
+            return;
+        }
         for hard in j.constraints.hard_constraints() {
             if !j.effective_constraints.iter().any(|c| c == hard) {
                 self.violation(

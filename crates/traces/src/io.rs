@@ -7,8 +7,15 @@
 //! ```text
 //! # phoenix-trace v1
 //! name <trace-name>
-//! job <arrival_s> <short|long> <placement> durations=<d1,d2,...> constraints=<class:kind:op:value;...|-> user=<n>
+//! job <arrival_s> <short|long> <placement> durations=<d1,d2,...> constraints=<class:kind:op:value;...|-> user=<n> [expr=<tree>]
 //! ```
+//!
+//! Jobs carrying a compositional [`ConstraintExpr`] additionally emit a
+//! trailing `expr=` field in the whitespace-free compact syntax
+//! (`all(...)`, `any(...)`, `not(...)`, `vec{dim=n;...}` and
+//! `class:kind:op:value` leaves); on read, the expression is authoritative
+//! and the flat `constraints=` field (the expression's conservative
+//! projection, kept for human inspection) is ignored.
 //!
 //! Floating-point fields round-trip exactly (Rust's shortest-representation
 //! `Display`).
@@ -17,7 +24,8 @@ use std::fmt;
 use std::io::{BufRead, Write};
 
 use phoenix_constraints::{
-    Constraint, ConstraintClass, ConstraintKind, ConstraintOp, ConstraintSet, PlacementConstraint,
+    Constraint, ConstraintClass, ConstraintExpr, ConstraintKind, ConstraintOp, ConstraintSet,
+    PlacementConstraint,
 };
 
 use crate::job::{Job, JobId, Trace};
@@ -93,6 +101,9 @@ pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> std::io::Result<()
             }
         }
         write!(writer, " user={}", job.user)?;
+        if let Some(expr) = job.constraints.expr() {
+            write!(writer, " expr={expr}")?;
+        }
         writeln!(writer)?;
     }
     Ok(())
@@ -156,10 +167,10 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
             ));
         };
         let fields: Vec<&str> = rest.split_whitespace().collect();
-        if fields.len() != 5 && fields.len() != 6 {
+        if !(5..=7).contains(&fields.len()) {
             return Err(ReadTraceError::Parse(
                 line_no,
-                format!("job line must have 5 or 6 fields, found {}", fields.len()),
+                format!("job line must have 5 to 7 fields, found {}", fields.len()),
             ));
         }
         let arrival_s: f64 = fields[0]
@@ -202,15 +213,29 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
                 .map(|t| parse_constraint(t, line_no))
                 .collect::<Result<_, _>>()?
         };
-        let user = match fields.get(5) {
-            Some(f) => {
-                let u = f.strip_prefix("user=").ok_or_else(|| {
-                    ReadTraceError::Parse(line_no, "sixth field must be user=<n>".into())
-                })?;
-                u.parse()
-                    .map_err(|_| ReadTraceError::Parse(line_no, format!("bad user '{u}'")))?
+        let mut user = 0u32;
+        let mut expr: Option<ConstraintExpr> = None;
+        for f in &fields[5..] {
+            if let Some(u) = f.strip_prefix("user=") {
+                user = u
+                    .parse()
+                    .map_err(|_| ReadTraceError::Parse(line_no, format!("bad user '{u}'")))?;
+            } else if let Some(e) = f.strip_prefix("expr=") {
+                expr = Some(ConstraintExpr::parse(e).ok_or_else(|| {
+                    ReadTraceError::Parse(line_no, format!("bad expression '{e}'"))
+                })?);
+            } else {
+                return Err(ReadTraceError::Parse(
+                    line_no,
+                    format!("trailing field must be user=<n> or expr=<tree>, found '{f}'"),
+                ));
             }
-            None => 0,
+        }
+        // The expression is authoritative when present; the flat
+        // constraints= field is its projection, emitted for inspection.
+        let set = match expr {
+            Some(expr) => ConstraintSet::from_expr(expr),
+            None => ConstraintSet::from_constraints(constraints),
         };
         let estimated = task_durations_s.iter().sum::<f64>() / task_durations_s.len() as f64;
         jobs.push(Job {
@@ -218,7 +243,7 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
             arrival_s,
             task_durations_s,
             estimated_task_duration_s: estimated,
-            constraints: ConstraintSet::from_constraints(constraints).with_placement(placement),
+            constraints: set.with_placement(placement),
             short,
             user,
         });
@@ -246,6 +271,34 @@ mod tests {
             assert_eq!(a.constraints, b.constraints);
             assert_eq!(a.short, b.short);
         }
+    }
+
+    #[test]
+    fn expression_trace_round_trips() {
+        // An expression-enabled profile must survive write → read exactly,
+        // including the compositional trees (the flat constraints= field is
+        // only the projection).
+        let trace = TraceGenerator::new(TraceProfile::yahoo_expr(3), 11).generate(200, 100, 0.7);
+        assert!(
+            trace.iter().any(|j| j.constraints.expr().is_some()),
+            "profile must emit at least one expression job"
+        );
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(back.iter()) {
+            assert_eq!(a.constraints, b.constraints, "exact set round trip");
+        }
+    }
+
+    #[test]
+    fn malformed_expression_field_is_rejected() {
+        let text =
+            format!("{HEADER}\njob 0 short none durations=1 constraints=- user=0 expr=any(\n");
+        assert!(read_trace(text.as_bytes()).is_err());
+        let text = format!("{HEADER}\njob 0 short none durations=1 constraints=- bogus=1\n");
+        assert!(read_trace(text.as_bytes()).is_err());
     }
 
     #[test]

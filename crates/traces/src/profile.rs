@@ -129,12 +129,33 @@ impl TraceProfile {
         vec![Self::yahoo(), Self::cloudera(), Self::google()]
     }
 
+    /// Yahoo-based profile with compositional constraint expressions
+    /// enabled: 35 % of constrained jobs draw an expression tree of the
+    /// given target `depth` (clamped to `1..=3`) — vector packing at depth
+    /// 1, affinity/anti-affinity combinators at depth 2, combined trees at
+    /// depth 3. These are the workload families behind the bench `scale`
+    /// bin's constraint-depth ladder.
+    pub fn yahoo_expr(depth: usize) -> Self {
+        let depth = depth.clamp(1, 3);
+        let mut profile = Self::yahoo();
+        profile.name = match depth {
+            1 => "yahoo-expr1",
+            2 => "yahoo-expr2",
+            _ => "yahoo-expr3",
+        };
+        profile.constraint_model = profile.constraint_model.with_expressions(0.35, depth);
+        profile
+    }
+
     /// Looks a profile up by name (case-insensitive).
     pub fn by_name(name: &str) -> Option<TraceProfile> {
         match name.to_ascii_lowercase().as_str() {
             "google" => Some(Self::google()),
             "cloudera" => Some(Self::cloudera()),
             "yahoo" => Some(Self::yahoo()),
+            "yahoo-expr1" => Some(Self::yahoo_expr(1)),
+            "yahoo-expr2" => Some(Self::yahoo_expr(2)),
+            "yahoo-expr3" => Some(Self::yahoo_expr(3)),
             _ => None,
         }
     }

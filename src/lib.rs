@@ -66,9 +66,9 @@ pub use phoenix_traces as traces;
 pub mod prelude {
     pub use phoenix_bench::{run_many, run_spec, ObserveArgs, RunSpec, Scale, SchedulerKind};
     pub use phoenix_constraints::{
-        AttributeVector, Constraint, ConstraintClass, ConstraintKind, ConstraintModel,
-        ConstraintOp, ConstraintSet, Crv, CrvDimension, FeasibilityIndex, Isa, MachinePopulation,
-        PopulationProfile,
+        AttributeVector, Constraint, ConstraintClass, ConstraintExpr, ConstraintKind,
+        ConstraintModel, ConstraintOp, ConstraintSet, Crv, CrvDimension, FeasibilityIndex, Isa,
+        MachinePopulation, PopulationProfile, VectorDemand,
     };
     pub use phoenix_core::{Phoenix, PhoenixConfig};
     pub use phoenix_metrics::{ConstraintStatus, Distribution, JobClass, LatencyKey};

@@ -22,6 +22,16 @@
 //! * **Probe relabeling** — probe ids are opaque labels; burning a block
 //!   of ids before the run (shifting every id the policies ever see) must
 //!   leave the run byte-identical.
+//! * **Expression algebra laws** — De Morgan, double negation, `Any`
+//!   child permutation and `All`-flattening rewrites of constraint
+//!   expression trees leave the compiled feasible sets unchanged; where
+//!   the rewrite also preserves the placement draw sequence (feasible
+//!   expressions, distinct-length `Any` branch projections) the full run
+//!   digest is unchanged for all five schedulers.
+//! * **Degenerate-`All` normalization** — replacing every flat constraint
+//!   set with `ConstraintExpr::all(same_constraints)` is byte-identical
+//!   across the 5-scheduler × 3-seed matrix: the expression front-end is
+//!   provably free when the tree is a pure conjunction.
 
 use phoenix::prelude::*;
 use phoenix::sim::{SimCtx, SimState, WorkerId};
@@ -295,6 +305,274 @@ impl Scheduler for ProbeRelabeler {
 
     fn on_worker_recover(&mut self, worker: WorkerId, ctx: &mut SimCtx<'_>) {
         self.inner.on_worker_recover(worker, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression algebra laws
+// ---------------------------------------------------------------------------
+
+/// A small random leaf pool spanning categorical and scalar kinds (values
+/// straddle the yahoo population's attribute ranges so complements and
+/// unions are all non-trivial).
+fn law_leaf(sel: u64) -> ConstraintExpr {
+    let hard = sel & 1 == 0;
+    let mk = |kind, op, value| {
+        ConstraintExpr::leaf(if hard {
+            Constraint::hard(kind, op, value)
+        } else {
+            Constraint::soft(kind, op, value)
+        })
+    };
+    match (sel >> 1) % 5 {
+        0 => mk(ConstraintKind::Architecture, ConstraintOp::Eq, sel % 3),
+        1 => mk(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            [4, 8, 16][(sel >> 4) as usize % 3],
+        ),
+        2 => mk(
+            ConstraintKind::Memory,
+            ConstraintOp::Lt,
+            [32, 64, 128][(sel >> 4) as usize % 3],
+        ),
+        3 => mk(ConstraintKind::PlatformFamily, ConstraintOp::Eq, sel % 2),
+        _ => ConstraintExpr::vector(VectorDemand {
+            cores: [4, 8][(sel >> 4) as usize % 2],
+            memory_gb: [0, 16][(sel >> 5) as usize % 2],
+            ..VectorDemand::default()
+        }),
+    }
+}
+
+fn feasible_ids(index: &FeasibilityIndex, expr: &ConstraintExpr) -> Vec<u32> {
+    index
+        .feasible(&ConstraintSet::from_expr(expr.clone()))
+        .to_vec()
+}
+
+/// De Morgan, double negation, `Any` permutation and `All`-flattening all
+/// leave the compiled feasible set unchanged, for a battery of random
+/// trees over the heterogeneous yahoo population.
+#[test]
+fn expression_rewrite_laws_preserve_feasible_sets() {
+    let (machines, _) = yahoo_inputs();
+    let index = FeasibilityIndex::new(machines);
+    for seed in 0..60u64 {
+        let a = law_leaf(seed.wrapping_mul(0x9e37_79b9));
+        let b = law_leaf(seed.wrapping_mul(0x85eb_ca6b).wrapping_add(17));
+        let c = law_leaf(seed.wrapping_mul(0xc2b2_ae35).wrapping_add(91));
+
+        // De Morgan, both directions.
+        let not_any = ConstraintExpr::not(ConstraintExpr::any_of(vec![a.clone(), b.clone()]));
+        let all_not = ConstraintExpr::all_of(vec![
+            ConstraintExpr::not(a.clone()),
+            ConstraintExpr::not(b.clone()),
+        ]);
+        assert_eq!(
+            feasible_ids(&index, &not_any),
+            feasible_ids(&index, &all_not),
+            "De Morgan Not(Any) != All(Not) at seed {seed}"
+        );
+        let not_all = ConstraintExpr::not(ConstraintExpr::all_of(vec![a.clone(), b.clone()]));
+        let any_not = ConstraintExpr::any_of(vec![
+            ConstraintExpr::not(a.clone()),
+            ConstraintExpr::not(b.clone()),
+        ]);
+        assert_eq!(
+            feasible_ids(&index, &not_all),
+            feasible_ids(&index, &any_not),
+            "De Morgan Not(All) != Any(Not) at seed {seed}"
+        );
+
+        // Double negation.
+        let tree = ConstraintExpr::any_of(vec![a.clone(), ConstraintExpr::not(b.clone())]);
+        assert_eq!(
+            feasible_ids(&index, &tree),
+            feasible_ids(
+                &index,
+                &ConstraintExpr::not(ConstraintExpr::not(tree.clone()))
+            ),
+            "double negation changed the feasible set at seed {seed}"
+        );
+
+        // `Any` child permutation.
+        let fwd = ConstraintExpr::any_of(vec![a.clone(), b.clone(), c.clone()]);
+        let rev = ConstraintExpr::any_of(vec![c.clone(), a.clone(), b.clone()]);
+        assert_eq!(
+            feasible_ids(&index, &fwd),
+            feasible_ids(&index, &rev),
+            "Any permutation changed the feasible set at seed {seed}"
+        );
+
+        // `All`-flattening: nested conjunctions normalize to the flat set,
+        // so the two sets are not merely equi-feasible but *equal*.
+        let nested = ConstraintExpr::all_of(vec![
+            ConstraintExpr::all_of(vec![a.clone(), b.clone()]),
+            c.clone(),
+        ]);
+        let flat = ConstraintExpr::all_of(vec![a.clone(), b.clone(), c.clone()]);
+        assert_eq!(
+            feasible_ids(&index, &nested),
+            feasible_ids(&index, &flat),
+            "All-flattening changed the feasible set at seed {seed}"
+        );
+    }
+}
+
+/// Swaps each constrained job's set for a handcrafted feasible expression,
+/// alternating between an `Any` union (distinct-length branch projections)
+/// and a negated union.
+fn expression_trace(trace: &Trace, index: &FeasibilityIndex, rewrite: bool) -> Trace {
+    let jobs: Vec<Job> = trace
+        .jobs()
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let mut j = j.clone();
+            if j.constraints.is_unconstrained() {
+                return j;
+            }
+            let expr = if i % 2 == 0 {
+                // Any(leaf, vector): projections have lengths 1 and 2, so
+                // the CRV min-branch projection is order-independent and a
+                // child permutation preserves the draw sequence exactly.
+                let leaf = ConstraintExpr::leaf(Constraint::hard(
+                    ConstraintKind::NumCores,
+                    ConstraintOp::Gt,
+                    4,
+                ));
+                let vector = ConstraintExpr::vector(VectorDemand {
+                    cores: 4,
+                    memory_gb: 16,
+                    ..VectorDemand::default()
+                });
+                if rewrite {
+                    ConstraintExpr::any_of(vec![vector, leaf])
+                } else {
+                    ConstraintExpr::any_of(vec![leaf, vector])
+                }
+            } else {
+                // Not(Any(isa, platform)) and its De Morgan rewrite
+                // All(Not(isa), Not(platform)): identical eval/hard_eval
+                // and identical (empty) CRV projections.
+                let isa = ConstraintExpr::leaf(Constraint::hard(
+                    ConstraintKind::Architecture,
+                    ConstraintOp::Eq,
+                    0,
+                ));
+                let platform = ConstraintExpr::leaf(Constraint::hard(
+                    ConstraintKind::PlatformFamily,
+                    ConstraintOp::Eq,
+                    1,
+                ));
+                if rewrite {
+                    ConstraintExpr::all_of(vec![
+                        ConstraintExpr::not(isa),
+                        ConstraintExpr::not(platform),
+                    ])
+                } else {
+                    ConstraintExpr::not(ConstraintExpr::any_of(vec![isa, platform]))
+                }
+            };
+            let set = ConstraintSet::from_expr(expr);
+            // Draw-sequence preservation relies on the expression staying
+            // feasible (admission never reaches branch negotiation).
+            assert!(
+                index.count_feasible(&set) > 0,
+                "law fixture must be feasible"
+            );
+            j.constraints = set;
+            j
+        })
+        .collect();
+    Trace::new(trace.name().to_string(), jobs)
+}
+
+/// Where the rewrite preserves the draw sequence — feasible expressions,
+/// order-independent projections — De Morgan and `Any`-permutation leave
+/// the full run digest unchanged for all five schedulers.
+#[test]
+fn expression_rewrites_preserve_digests_when_draws_are_preserved() {
+    let (machines, raw_trace) = yahoo_inputs();
+    let index = FeasibilityIndex::new(machines.clone());
+    let original = expression_trace(&raw_trace, &index, false);
+    let rewritten = expression_trace(&raw_trace, &index, true);
+    for kind in ALL_KINDS {
+        let base = run_direct(
+            SimConfig::default(),
+            machines.clone(),
+            &original,
+            build_kind(kind),
+            None,
+        );
+        let transformed = run_direct(
+            SimConfig::default(),
+            machines.clone(),
+            &rewritten,
+            build_kind(kind),
+            None,
+        );
+        assert_eq!(
+            base.digest(),
+            transformed.digest(),
+            "{kind:?}: law-preserving expression rewrite changed the run"
+        );
+    }
+}
+
+/// `ConstraintSet::from_constraints(v)` and the degenerate tree
+/// `ConstraintExpr::all(v)` are byte-identical across the full
+/// 5-scheduler × 3-seed matrix: the expression front-end normalizes pure
+/// conjunctions to the exact flat representation, so pre-expression
+/// digests cannot move.
+#[test]
+fn degenerate_all_trees_match_flat_sets_across_matrix() {
+    for trace_seed in [7u64, 42, 1299] {
+        let profile = TraceProfile::yahoo();
+        let mut rng = StdRng::seed_from_u64(1299);
+        let cluster = MachinePopulation::generate(profile.population.clone(), NODES, &mut rng);
+        let machines = cluster.into_machines();
+        let trace = TraceGenerator::new(profile, trace_seed).generate(JOBS, NODES, UTIL);
+
+        let jobs: Vec<Job> = trace
+            .jobs()
+            .iter()
+            .map(|j| {
+                let mut j = j.clone();
+                if j.constraints.expr().is_none() && !j.constraints.is_unconstrained() {
+                    let flat: Vec<Constraint> = j.constraints.iter().cloned().collect();
+                    let set = ConstraintSet::from_expr(ConstraintExpr::all(flat))
+                        .with_placement(j.constraints.placement());
+                    assert_eq!(set, j.constraints, "degenerate All must normalize to flat");
+                    j.constraints = set;
+                }
+                j
+            })
+            .collect();
+        let tree_trace = Trace::new(trace.name().to_string(), jobs);
+
+        for kind in ALL_KINDS {
+            let flat_run = run_direct(
+                SimConfig::default(),
+                machines.clone(),
+                &trace,
+                build_kind(kind),
+                None,
+            );
+            let tree_run = run_direct(
+                SimConfig::default(),
+                machines.clone(),
+                &tree_trace,
+                build_kind(kind),
+                None,
+            );
+            assert_eq!(
+                flat_run.digest(),
+                tree_run.digest(),
+                "{kind:?} seed {trace_seed}: degenerate All tree diverged from flat set"
+            );
+        }
     }
 }
 
