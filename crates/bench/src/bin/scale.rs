@@ -23,12 +23,20 @@
 //!
 //! The digest is the deterministic run digest: two invocations at the same
 //! scale must agree on every digest even though the timings differ.
+//!
+//! Federated rows (the yahoo K-domain ladder, including the 100k-node
+//! points) additionally carry `"domains"`, `"staleness_us"`,
+//! `"gossip_rounds"`, `"home_samples"`, `"remote_samples"` and
+//! `"cluster_fallbacks"`; centralized rows omit them, so the pre-existing
+//! baseline rows are byte-compatible. The K=1/staleness=0 federated row is
+//! digest-identical to the centralized yahoo row at the same
+//! (nodes, jobs, seed) — the parity anchor CI checks.
 
 use std::fmt::Write as _;
 
 use phoenix_bench::{run_specs_parallel, RunSpec, Scale, SchedulerKind};
 use phoenix_metrics::Table;
-use phoenix_sim::ProfileScope;
+use phoenix_sim::{FederationConfig, ProfileScope, SimDuration};
 use phoenix_traces::TraceProfile;
 
 /// Job counts ladder: quarters of the max, deduplicated, ascending.
@@ -62,7 +70,7 @@ fn json_run(out: &mut String, run: &ScaleRun) {
          \"seed\": {}, \"cluster_gen_s\": {:.4}, \"trace_gen_s\": {:.4}, \
          \"index_build_s\": {:.4}, \"sim_s\": {:.4}, \"total_s\": {:.4}, \
          \"tasks_completed\": {}, \"tasks_per_sim_s\": {:.0}, \"makespan_s\": {:.3}, \
-         \"utilization\": {:.4}, \"digest\": \"{:#018x}\", \"hot_paths\": {{",
+         \"utilization\": {:.4}, ",
         run.spec.profile.name,
         run.spec.scheduler.name(),
         run.spec.nodes,
@@ -77,7 +85,31 @@ fn json_run(out: &mut String, run: &ScaleRun) {
         tasks_per_sim_s,
         r.metrics.makespan.as_secs_f64(),
         r.utilization(),
-        r.digest(),
+    )
+    .expect("writing to String cannot fail");
+    // Federation fields appear only on federated rows, so the centralized
+    // rows of the committed baseline stay byte-compatible (the CI parity
+    // check keys on `(profile, nodes, jobs, seed, domains, staleness_us)`
+    // with 0 defaults).
+    if run.spec.federation.is_active() {
+        let stats = r.federation.unwrap_or_default();
+        write!(
+            out,
+            "\"domains\": {}, \"staleness_us\": {}, \"gossip_rounds\": {}, \
+             \"home_samples\": {}, \"remote_samples\": {}, \"cluster_fallbacks\": {}, ",
+            run.spec.federation.domains,
+            run.spec.federation.staleness.as_micros(),
+            stats.gossip_rounds,
+            stats.home_samples,
+            stats.remote_samples,
+            stats.cluster_fallbacks,
+        )
+        .expect("writing to String cannot fail");
+    }
+    write!(
+        out,
+        "\"digest\": \"{:#018x}\", \"hot_paths\": {{",
+        r.digest()
     )
     .expect("writing to String cannot fail");
     if let Some(profile) = &r.profile {
@@ -203,12 +235,57 @@ fn main() {
             specs.push(spec.with_profiling());
         }
     }
+    // Federated ladder: the yahoo workload sharded into K domains with
+    // summary staleness S, at a quarter of the job ladder. The K=1 /
+    // staleness=0 row is the centralized-parity anchor — its digest must be
+    // byte-identical to the plain yahoo row at the same (nodes, jobs, seed)
+    // above, and CI checks exactly that. Two rows stretch the cluster to
+    // 100k nodes (× node factor): a centralized K=1 baseline and the
+    // hardest federated point (K=16, 2 s staleness) to quantify what
+    // eventually-consistent sharding costs at the design's target scale.
+    let fed_profile = TraceProfile::yahoo();
+    let fed_nodes = scale.nodes_for(&fed_profile);
+    let fed_jobs = (scale.jobs / 4).max(1);
+    let big_nodes = ((100_000f64 * scale.node_factor).round() as usize).max(32);
+    let mut fed_points: Vec<(usize, usize, SimDuration)> = Vec::new();
+    for k in [1usize, 4, 16] {
+        for staleness in [SimDuration::ZERO, SimDuration::from_secs(2)] {
+            fed_points.push((fed_nodes, k, staleness));
+        }
+    }
+    fed_points.push((big_nodes, 1, SimDuration::ZERO));
+    fed_points.push((big_nodes, 16, SimDuration::from_secs(2)));
+    for &(nodes, k, staleness) in &fed_points {
+        for seed in scale.seed_list() {
+            let mut spec =
+                RunSpec::new(fed_profile.clone(), SchedulerKind::Phoenix).with_seed(seed);
+            spec.nodes = nodes;
+            spec.gen_nodes = nodes;
+            spec.jobs = fed_jobs;
+            spec.gen_util = 0.9;
+            spec.gen_seed = Some(seed ^ (fed_jobs as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            spec.record_task_waits = false;
+            spec.faults = scale.faults;
+            spec.federation = FederationConfig::sharded(k, staleness);
+            specs.push(spec.with_profiling());
+        }
+    }
     let outcomes = run_specs_parallel(&specs, parallel);
     let mut runs: Vec<ScaleRun> = Vec::new();
     for (spec, (result, timing)) in specs.into_iter().zip(outcomes) {
         let tasks = result.counters.tasks_completed;
+        let profile_cell = if spec.federation.is_active() {
+            format!(
+                "{}+K{}/{}ms",
+                spec.profile.name,
+                spec.federation.domains,
+                spec.federation.staleness.as_micros() / 1_000
+            )
+        } else {
+            spec.profile.name.to_string()
+        };
         table.add_row(vec![
-            spec.profile.name.to_string(),
+            profile_cell,
             spec.nodes.to_string(),
             spec.jobs.to_string(),
             spec.seed.to_string(),
@@ -238,6 +315,61 @@ fn main() {
                 println!("hot paths ({} {} jobs):\n{}", profile, run.spec.jobs, p);
             }
         }
+    }
+
+    // Federation cost vs the centralized anchor at the same
+    // (nodes, jobs, seed): makespan and utilization degradation, plus how
+    // often placement had to leave the home domain.
+    let fed_runs: Vec<&ScaleRun> = runs
+        .iter()
+        .filter(|r| r.spec.federation.is_partitioned())
+        .collect();
+    if !fed_runs.is_empty() {
+        let mut fed_table = Table::new(vec![
+            "K",
+            "stale (s)",
+            "nodes",
+            "seed",
+            "makespan Δ%",
+            "util Δpp",
+            "remote",
+            "fallback",
+        ]);
+        for run in fed_runs {
+            let baseline = runs.iter().find(|b| {
+                !b.spec.federation.is_partitioned()
+                    && b.spec.profile.name == run.spec.profile.name
+                    && b.spec.nodes == run.spec.nodes
+                    && b.spec.jobs == run.spec.jobs
+                    && b.spec.seed == run.spec.seed
+            });
+            let (makespan_delta, util_delta) = match baseline {
+                Some(b) => {
+                    let base_ms = b.result.metrics.makespan.as_secs_f64();
+                    let fed_ms = run.result.metrics.makespan.as_secs_f64();
+                    (
+                        format!("{:+.2}", (fed_ms - base_ms) / base_ms.max(1e-9) * 100.0),
+                        format!(
+                            "{:+.2}",
+                            (run.result.utilization() - b.result.utilization()) * 100.0
+                        ),
+                    )
+                }
+                None => ("-".to_string(), "-".to_string()),
+            };
+            let stats = run.result.federation.unwrap_or_default();
+            fed_table.add_row(vec![
+                run.spec.federation.domains.to_string(),
+                format!("{:.1}", run.spec.federation.staleness.as_secs_f64()),
+                run.spec.nodes.to_string(),
+                run.spec.seed.to_string(),
+                makespan_delta,
+                util_delta,
+                stats.remote_samples.to_string(),
+                stats.cluster_fallbacks.to_string(),
+            ]);
+        }
+        println!("federated vs centralized (same nodes/jobs/seed):\n{fed_table}");
     }
 
     let mut json = String::new();

@@ -8,7 +8,10 @@ use phoenix_core::{Phoenix, PhoenixConfig};
 use phoenix_schedulers::{
     BaselineConfig, ChoosyC, EagleC, HawkC, MercuryC, MonolithicC, SparrowC, YaqD,
 };
-use phoenix_sim::{AuditConfig, FaultPlan, JsonlSink, Scheduler, SimConfig, SimResult, Simulation};
+use phoenix_sim::{
+    AuditConfig, FaultPlan, FederationConfig, JsonlSink, Scheduler, SimConfig, SimResult,
+    Simulation,
+};
 use phoenix_traces::{TraceGenerator, TraceProfile};
 
 /// The schedulers the paper evaluates.
@@ -139,6 +142,9 @@ pub struct RunSpec {
     /// Fault profile injected into the run ([`FaultPlan::none`] for the
     /// paper's fault-free experiments).
     pub faults: FaultPlan,
+    /// Federation layout ([`FederationConfig::off`] for the centralized
+    /// engine; `K = 1` with zero staleness is digest-identical to it).
+    pub federation: FederationConfig,
     /// Write a JSONL event trace of the run to this path (`--trace-out`).
     /// Tracing is observational only: the run's digest is unchanged.
     pub trace_out: Option<std::path::PathBuf>,
@@ -167,6 +173,7 @@ impl RunSpec {
             gen_seed: None,
             record_task_waits: true,
             faults: FaultPlan::none(),
+            federation: FederationConfig::off(),
             trace_out: None,
             profile_hot_paths: false,
             audit: false,
@@ -195,6 +202,12 @@ impl RunSpec {
     /// Returns a copy with a different fault profile.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns a copy with a different federation layout.
+    pub fn with_federation(mut self, federation: FederationConfig) -> Self {
+        self.federation = federation;
         self
     }
 
@@ -263,6 +276,7 @@ pub fn run_spec_timed(spec: &RunSpec) -> (SimResult, RunTiming) {
     let config = SimConfig {
         record_task_waits: spec.record_task_waits,
         faults: spec.faults,
+        federation: spec.federation,
         ..SimConfig::default()
     };
     let started = std::time::Instant::now();

@@ -476,6 +476,35 @@ impl FeasibilityIndex {
         self.feasible(set).len()
     }
 
+    /// Number of workers in `[start, end)` satisfying `set` — the
+    /// partitioned view federated domains use to skip remote domains with
+    /// no feasible machine at all. Popcounts the cached feasibility bitset
+    /// over the word span (O(range/64)), masking the edge words; shares
+    /// the memo cache with [`FeasibilityIndex::feasible`].
+    pub fn count_feasible_in_range(&self, set: &ConstraintSet, start: usize, end: usize) -> usize {
+        let end = end.min(self.machines.len());
+        if start >= end {
+            return 0;
+        }
+        let bits = self.feasible_bits(set);
+        let (first, last) = (start >> 6, (end - 1) >> 6);
+        let mut count = 0usize;
+        for (w, &word) in bits.iter().enumerate().take(last + 1).skip(first) {
+            let mut word = word;
+            if w == first {
+                word &= u64::MAX << (start & 63);
+            }
+            if w == last {
+                let tail = end & 63;
+                if tail != 0 {
+                    word &= u64::MAX >> (64 - tail);
+                }
+            }
+            count += word.count_ones() as usize;
+        }
+        count
+    }
+
     /// Like [`FeasibilityIndex::count_feasible`] but bypassing (and not
     /// populating) the memo cache: every call pays the bitset intersection
     /// and nothing is retained. For one-off queries over sets that will
@@ -627,6 +656,39 @@ mod tests {
             feasible_fraction(&pop, &ConstraintSet::unconstrained()),
             1.0
         );
+    }
+
+    #[test]
+    fn range_counts_match_filtered_lists() {
+        let index = FeasibilityIndex::new(population());
+        let set = big_cores();
+        let all: Vec<u32> = index.feasible(&set).to_vec();
+        // Every alignment case: word-interior, word-straddling, edge-exact.
+        for (start, end) in [
+            (0, 100),
+            (0, 50),
+            (50, 100),
+            (3, 67),
+            (64, 128),
+            (63, 64),
+            (70, 70),
+        ] {
+            let expected = all
+                .iter()
+                .filter(|&&w| (start..end.min(100)).contains(&(w as usize)))
+                .count();
+            assert_eq!(
+                index.count_feasible_in_range(&set, start, end),
+                expected,
+                "[{start}, {end})"
+            );
+        }
+        // Unconstrained sets count the whole slice.
+        assert_eq!(
+            index.count_feasible_in_range(&ConstraintSet::unconstrained(), 10, 30),
+            20
+        );
+        assert_eq!(index.count_feasible_in_range(&set, 80, 20), 0);
     }
 
     #[test]

@@ -99,6 +99,34 @@ impl CrvMonitor {
         };
     }
 
+    /// Refreshes the table from a partitioned federation's
+    /// eventually-consistent view: the per-kind demand/supply and queue
+    /// aggregates summed over every domain's latest *installed* gossip
+    /// summary ([`phoenix_sim::FederationState::visible_demand`] and
+    /// friends). No rescan oracle runs on this path — the stale view is
+    /// *supposed* to lag ground truth (that lag is the federation model,
+    /// not a ledger bug), so cross-checking it against a live rescan
+    /// would be a false alarm. Falls back to the incremental refresh when
+    /// federation is off.
+    pub fn refresh_federated(&mut self, state: &SimState) {
+        let Some(fed) = state.federation() else {
+            self.refresh_incremental(state);
+            return;
+        };
+        self.table.reset_demand();
+        for kind in ConstraintKind::ALL {
+            self.table.add_demand(kind, fed.visible_demand(kind) as f64);
+            self.table
+                .set_supply(kind, fed.visible_idle_supply(kind) as f64);
+        }
+        self.crv = self.table.to_crv();
+        self.snapshot = MonitorSnapshot {
+            queued_probes: fed.visible_queued_probes(),
+            constrained_probes: fed.visible_constrained_probes(),
+            idle_workers: fed.visible_idle_workers(),
+        };
+    }
+
     /// Cross-checks the incremental tables against a from-scratch rescan;
     /// any divergence is a ledger-hook bug.
     #[cfg(debug_assertions)]
@@ -201,6 +229,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn state_with(nodes: usize, constraints: Vec<ConstraintSet>) -> phoenix_sim::SimState {
+        state_with_config(nodes, constraints, SimConfig::default())
+    }
+
+    fn state_with_config(
+        nodes: usize,
+        constraints: Vec<ConstraintSet>,
+        config: SimConfig,
+    ) -> phoenix_sim::SimState {
         let mut rng = StdRng::seed_from_u64(1);
         let cluster =
             MachinePopulation::generate(PopulationProfile::google_like(), nodes, &mut rng);
@@ -218,7 +254,7 @@ mod tests {
             })
             .collect();
         let sim = Simulation::new(
-            SimConfig::default(),
+            config,
             FeasibilityIndex::new(cluster.into_machines()),
             &Trace::new("t", jobs),
             Box::new(phoenix_sim::RandomScheduler::new(1)),
@@ -356,6 +392,41 @@ mod tests {
         let mut opted_out = CrvMonitor::new();
         opted_out.refresh_with(&state, false);
         assert_eq!(opted_out.table(), rescan.table());
+    }
+
+    /// The federated refresh reads *installed gossip summaries only*:
+    /// demand enqueued after the last round is invisible until the next
+    /// delivery, and with federation off it degrades to the incremental
+    /// path.
+    #[test]
+    fn federated_refresh_sees_only_gossiped_state() {
+        let set = ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            4,
+        )]);
+        let config = SimConfig {
+            federation: phoenix_sim::FederationConfig::sharded(2, phoenix_sim::SimDuration::ZERO),
+            ..SimConfig::default()
+        };
+        let mut state = state_with_config(20, vec![set.clone()], config);
+        enqueue(&mut state, 0, 0);
+        let mut monitor = CrvMonitor::new();
+        monitor.refresh_federated(&state);
+        // No gossip round has run: the stale view is still empty even
+        // though a live rescan would see the queued probe.
+        assert_eq!(monitor.snapshot().queued_probes, 0);
+        assert_eq!(monitor.table().demand(ConstraintKind::NumCores), 0.0);
+        let mut live = CrvMonitor::new();
+        live.refresh_incremental(&state);
+        assert_eq!(live.snapshot().queued_probes, 1);
+        // Federation off: refresh_federated falls back to the live ledger.
+        let mut central = state_with(20, vec![set]);
+        enqueue(&mut central, 0, 0);
+        let mut fallback = CrvMonitor::new();
+        fallback.refresh_federated(&central);
+        assert_eq!(fallback.snapshot().queued_probes, 1);
+        assert!(fallback.table().demand(ConstraintKind::NumCores) > 0.0);
     }
 
     #[test]

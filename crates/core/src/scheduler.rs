@@ -314,8 +314,20 @@ impl Phoenix {
 
     fn heartbeat(&mut self, ctx: &mut SimCtx<'_>) {
         let started = ctx.state().profiler().begin();
-        self.monitor
-            .refresh_with(ctx.state(), self.config.incremental_monitor);
+        // A partitioned federation's coordinator sees only gossip: refresh
+        // from the installed (stale) summaries. Centralized runs — and
+        // single-domain federations, which must stay byte-identical to
+        // them — keep the ledger/rescan path.
+        let partitioned = ctx
+            .state()
+            .federation()
+            .is_some_and(|f| f.config().is_partitioned());
+        if partitioned {
+            self.monitor.refresh_federated(ctx.state());
+        } else {
+            self.monitor
+                .refresh_with(ctx.state(), self.config.incremental_monitor);
+        }
         ctx.state_mut()
             .profiler_mut()
             .end(ProfileScope::HeartbeatRefresh, started);

@@ -576,6 +576,10 @@ impl ReferenceExecutor {
             !state.config.faults.is_active(),
             "reference executor supports fault-free runs only"
         );
+        assert!(
+            !state.config.federation.is_partitioned(),
+            "reference executor supports centralized (K <= 1) runs only"
+        );
 
         // The naive future-event list: a flat vector, linearly scanned for
         // the minimum (time, seq) on every step. Events scheduled by hooks
@@ -669,6 +673,9 @@ impl ReferenceExecutor {
             }
             Event::WorkerCrash(_) | Event::WorkerRecover(_) => {
                 unreachable!("fault events in a fault-free reference run")
+            }
+            Event::GossipPublish | Event::GossipDeliver => {
+                unreachable!("gossip events in a centralized (K <= 1) reference run")
             }
         }
     }

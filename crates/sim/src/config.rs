@@ -3,6 +3,69 @@
 use crate::fault::FaultPlan;
 use crate::time::SimDuration;
 
+/// Federated-scheduling parameters: the cluster is sharded into `domains`
+/// contiguous worker ranges, each owning its own CRV ledger; domains learn
+/// about each other only through periodic summary gossip delivered with a
+/// configurable staleness (see [`crate::federation`]).
+///
+/// The load-bearing parity rule: with `domains <= 1` the engine behaves
+/// **byte-identically** to the centralized configuration — no gossip events
+/// are scheduled, placement sampling is unrestricted, and every golden
+/// digest is unchanged. A single-domain federation still maintains its
+/// (one) domain ledger, so the partitioned bookkeeping is exercised and
+/// cross-checked without perturbing a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FederationConfig {
+    /// Number of federated domains. `0` or `1` disables federation effects
+    /// (`0` skips even the single-domain bookkeeping).
+    pub domains: usize,
+    /// Interval between gossip rounds: each round, every domain publishes
+    /// a fresh summary of its ledger.
+    pub gossip_interval: SimDuration,
+    /// Propagation delay before a published summary becomes visible to the
+    /// other domains. Zero installs summaries at publish time (domains are
+    /// then stale only by the gossip interval).
+    pub staleness: SimDuration,
+}
+
+impl FederationConfig {
+    /// Federation off: the centralized engine, bit for bit.
+    pub fn off() -> Self {
+        FederationConfig {
+            domains: 0,
+            gossip_interval: SimDuration::from_secs(5),
+            staleness: SimDuration::ZERO,
+        }
+    }
+
+    /// A `k`-domain federation with the default 5 s gossip interval and
+    /// the given summary staleness.
+    pub fn sharded(k: usize, staleness: SimDuration) -> Self {
+        FederationConfig {
+            domains: k,
+            staleness,
+            ..Self::off()
+        }
+    }
+
+    /// Whether any federation bookkeeping runs (at least one domain).
+    pub fn is_active(&self) -> bool {
+        self.domains > 0
+    }
+
+    /// Whether placement is actually partitioned (two or more domains).
+    /// Single-domain federations keep the centralized behavior.
+    pub fn is_partitioned(&self) -> bool {
+        self.domains > 1
+    }
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// Engine-level parameters (scheduler-specific parameters such as probe
 /// ratios or heartbeat intervals live in the scheduler configs).
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +91,9 @@ pub struct SimConfig {
     /// Fault-injection plan (worker churn, probe loss/delay, heartbeat
     /// jitter). Defaults to [`FaultPlan::none`], which costs nothing.
     pub faults: FaultPlan,
+    /// Federated-scheduling plan (domain sharding + summary gossip).
+    /// Defaults to [`FederationConfig::off`], which costs nothing.
+    pub federation: FederationConfig,
 }
 
 impl SimConfig {
@@ -47,6 +113,7 @@ impl Default for SimConfig {
             reference_clock_mhz: 2_200,
             slots_per_worker: 1,
             faults: FaultPlan::none(),
+            federation: FederationConfig::off(),
         }
     }
 }
@@ -59,5 +126,17 @@ mod tests {
     fn default_matches_paper() {
         let c = SimConfig::default();
         assert_eq!(c.rtt(), SimDuration::from_micros(500));
+        assert!(!c.federation.is_active());
+    }
+
+    #[test]
+    fn federation_activation_thresholds() {
+        assert!(!FederationConfig::off().is_active());
+        let one = FederationConfig::sharded(1, SimDuration::ZERO);
+        assert!(one.is_active());
+        assert!(!one.is_partitioned());
+        let four = FederationConfig::sharded(4, SimDuration::from_millis(200));
+        assert!(four.is_partitioned());
+        assert_eq!(four.staleness, SimDuration::from_millis(200));
     }
 }

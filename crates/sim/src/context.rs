@@ -235,12 +235,46 @@ impl<'a> SimCtx<'a> {
 
     /// Like [`SimCtx::sample_feasible_workers`], skipping workers for which
     /// `exclude` returns true (crashed workers are skipped regardless).
+    ///
+    /// On a partitioned federated run handling a domain-scoped event this
+    /// becomes a three-rung ladder: (1) sample inside the home domain;
+    /// (2) if the home domain yields nothing, probe the most promising
+    /// remote domain judged from the installed (stale) gossip summaries;
+    /// (3) fall back to an unrestricted cluster-wide sample, so liveness
+    /// (`lost_tasks == 0`) never depends on summary freshness. With K ≤ 1
+    /// the ladder is skipped entirely and the draws are identical to the
+    /// centralized engine (the byte-parity rule).
     pub fn sample_feasible_workers_excluding(
         &mut self,
         set: &phoenix_constraints::ConstraintSet,
         k: usize,
         mut exclude: impl FnMut(u32) -> bool,
     ) -> Vec<WorkerId> {
+        if let Some(home) = self.placement_home() {
+            let sample = self.sample_in_domain(set, k, home, &mut exclude);
+            if !sample.is_empty() {
+                if let Some(fed) = self.state.federation_mut() {
+                    fed.stats.home_samples += 1;
+                }
+                return sample;
+            }
+            let remote = self
+                .state
+                .federation()
+                .and_then(|fed| fed.best_remote_domain(home, set, &self.state.feasibility));
+            if let Some(remote) = remote {
+                let sample = self.sample_in_domain(set, k, remote, &mut exclude);
+                if !sample.is_empty() {
+                    if let Some(fed) = self.state.federation_mut() {
+                        fed.stats.remote_samples += 1;
+                    }
+                    return sample;
+                }
+            }
+            if let Some(fed) = self.state.federation_mut() {
+                fed.stats.cluster_fallbacks += 1;
+            }
+        }
         let state = &mut *self.state;
         let started = state.profiler.begin();
         let workers = &state.workers;
@@ -248,6 +282,49 @@ impl<'a> SimCtx<'a> {
             .feasibility
             .sample_feasible(set, k, &mut state.rng, |w| {
                 exclude(w) || !workers[w as usize].is_alive()
+            })
+            .into_iter()
+            .map(WorkerId)
+            .collect();
+        state.profiler.end(crate::ProfileScope::Sample, started);
+        sample
+    }
+
+    /// The home domain of the event being handled, when the run is
+    /// partitioned (K ≥ 2) and the event is domain-scoped. `None` means
+    /// sampling stays cluster-wide.
+    fn placement_home(&self) -> Option<usize> {
+        let fed = self.state.federation()?;
+        if !fed.config().is_partitioned() {
+            return None;
+        }
+        self.state.active_domain
+    }
+
+    /// One rung of the federated ladder: a feasible-worker sample
+    /// restricted to `domain`'s contiguous worker range (plus the caller's
+    /// exclusions and the aliveness filter). May return fewer than `k`
+    /// workers; empty means the rung failed.
+    fn sample_in_domain(
+        &mut self,
+        set: &phoenix_constraints::ConstraintSet,
+        k: usize,
+        domain: usize,
+        exclude: &mut impl FnMut(u32) -> bool,
+    ) -> Vec<WorkerId> {
+        let (base, len) = self
+            .state
+            .federation()
+            .expect("domain sampling without federation")
+            .range(domain);
+        let (lo, hi) = (base as u32, (base + len) as u32);
+        let state = &mut *self.state;
+        let started = state.profiler.begin();
+        let workers = &state.workers;
+        let sample: Vec<WorkerId> = state
+            .feasibility
+            .sample_feasible(set, k, &mut state.rng, |w| {
+                w < lo || w >= hi || exclude(w) || !workers[w as usize].is_alive()
             })
             .into_iter()
             .map(WorkerId)

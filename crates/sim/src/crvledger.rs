@@ -69,10 +69,16 @@ pub struct CrvLedger {
     instance_refs: Vec<u64>,
     /// Instances with a nonzero refcount.
     demanded_instances: usize,
-    /// Per worker, per kind: demanded instances of that kind it satisfies.
+    /// Per in-range worker, per kind: demanded instances of that kind it
+    /// satisfies (indexed by `worker - base`).
     sat_count: Vec<[u32; ConstraintKind::COUNT]>,
-    /// Mirror of each worker's idleness.
+    /// Mirror of each in-range worker's idleness (indexed by
+    /// `worker - base`).
     idle: Vec<bool>,
+    /// First global worker id this ledger accounts for. Zero for the
+    /// cluster-wide ledger; federated domain ledgers cover a contiguous
+    /// `[base, base + idle.len())` slice and ignore everything outside it.
+    base: usize,
     idle_workers: usize,
     queued_probes: usize,
     constrained_probes: usize,
@@ -81,12 +87,30 @@ pub struct CrvLedger {
 impl CrvLedger {
     /// An empty ledger over `workers` all-idle workers.
     pub fn new(workers: usize) -> Self {
+        Self::with_range(0, workers)
+    }
+
+    /// An empty ledger over the contiguous worker range
+    /// `[base, base + len)`. Worker-indexed updates (idle transitions,
+    /// per-instance supply walks) outside the range are ignored; probe
+    /// demand ops are range-blind — the caller routes each probe to the
+    /// ledger of the worker queue it sits on.
+    pub fn with_range(base: usize, len: usize) -> Self {
         CrvLedger {
-            sat_count: vec![[0; ConstraintKind::COUNT]; workers],
-            idle: vec![true; workers],
-            idle_workers: workers,
+            sat_count: vec![[0; ConstraintKind::COUNT]; len],
+            idle: vec![true; len],
+            base,
+            idle_workers: len,
             ..Default::default()
         }
+    }
+
+    /// Translates a global worker id into this ledger's dense slot, or
+    /// `None` when the worker is outside the owned range.
+    fn slot(&self, worker: usize) -> Option<usize> {
+        worker
+            .checked_sub(self.base)
+            .filter(|&i| i < self.idle.len())
     }
 
     /// Queued (probe, constraint) pairs demanding `kind`.
@@ -204,43 +228,49 @@ impl CrvLedger {
     }
 
     /// Records `worker` transitioning idle → busy (first slot occupied).
-    /// A no-op if already busy.
+    /// A no-op if already busy or outside the owned range.
     pub fn worker_busy(&mut self, worker: usize) {
-        if !self.idle[worker] {
+        let Some(i) = self.slot(worker) else { return };
+        if !self.idle[i] {
             return;
         }
-        self.idle[worker] = false;
+        self.idle[i] = false;
         self.idle_workers -= 1;
         for (k, supply) in self.idle_supply.iter_mut().enumerate() {
-            if self.sat_count[worker][k] > 0 {
+            if self.sat_count[i][k] > 0 {
                 *supply -= 1;
             }
         }
     }
 
     /// Records `worker` transitioning busy → idle (last slot freed).
-    /// A no-op if already idle.
+    /// A no-op if already idle or outside the owned range.
     pub fn worker_idle(&mut self, worker: usize) {
-        if self.idle[worker] {
+        let Some(i) = self.slot(worker) else { return };
+        if self.idle[i] {
             return;
         }
-        self.idle[worker] = true;
+        self.idle[i] = true;
         self.idle_workers += 1;
         for (k, supply) in self.idle_supply.iter_mut().enumerate() {
-            if self.sat_count[worker][k] > 0 {
+            if self.sat_count[i][k] > 0 {
                 *supply += 1;
             }
         }
     }
 
     /// A previously-undemanded instance became demanded: walk its feasible
-    /// workers once (the cached list from the index).
+    /// workers once (the cached list from the index), counting only the
+    /// ones this ledger owns.
     fn instance_added(&mut self, c: &Constraint, feasibility: &FeasibilityIndex) {
         let k = c.kind.index();
         for &w in feasibility.feasible_single(c).iter() {
-            let sat = &mut self.sat_count[w as usize][k];
+            let Some(i) = self.slot(w as usize) else {
+                continue;
+            };
+            let sat = &mut self.sat_count[i][k];
             *sat += 1;
-            if *sat == 1 && self.idle[w as usize] {
+            if *sat == 1 && self.idle[i] {
                 self.idle_supply[k] += 1;
             }
         }
@@ -251,9 +281,12 @@ impl CrvLedger {
     fn instance_removed(&mut self, c: &Constraint, feasibility: &FeasibilityIndex) {
         let k = c.kind.index();
         for &w in feasibility.feasible_single(c).iter() {
-            let sat = &mut self.sat_count[w as usize][k];
+            let Some(i) = self.slot(w as usize) else {
+                continue;
+            };
+            let sat = &mut self.sat_count[i][k];
             *sat -= 1;
-            if *sat == 0 && self.idle[w as usize] {
+            if *sat == 0 && self.idle[i] {
                 self.idle_supply[k] -= 1;
             }
         }
@@ -389,6 +422,36 @@ mod tests {
         assert_eq!(ledger.distinct_instances(), 2);
         ledger.probe_removed(ProbeId(2), &index);
         assert_eq!(ledger.distinct_instances(), 0);
+    }
+
+    #[test]
+    fn range_ledger_only_counts_owned_workers() {
+        let index = FeasibilityIndex::new(machines());
+        // Domain owning only the two small-core machines (workers 2..4).
+        let mut ledger = CrvLedger::with_range(2, 2);
+        assert_eq!(ledger.idle_workers(), 2);
+        ledger.probe_enqueued(ProbeId(1), JobId(0), &cores_gt(4), &index);
+        // Both feasible workers (0, 1) are outside the range: no supply.
+        assert_eq!(ledger.demand(ConstraintKind::NumCores), 1);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 0);
+        // Out-of-range transitions are ignored; in-range ones tracked.
+        ledger.worker_busy(0);
+        assert_eq!(ledger.idle_workers(), 2);
+        ledger.worker_busy(3);
+        assert_eq!(ledger.idle_workers(), 1);
+        ledger.worker_idle(3);
+        assert_eq!(ledger.idle_workers(), 2);
+
+        // A constraint the small-core workers do satisfy contributes.
+        let low = ConstraintSet::from_constraints(vec![Constraint::hard(
+            ConstraintKind::NumCores,
+            ConstraintOp::Gt,
+            1,
+        )]);
+        ledger.probe_enqueued(ProbeId(2), JobId(1), &low, &index);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 2);
+        ledger.probe_removed(ProbeId(2), &index);
+        assert_eq!(ledger.idle_supply(ConstraintKind::NumCores), 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::config::SimConfig;
 use crate::context::SimCtx;
 use crate::crvledger::CrvLedger;
 use crate::event::{Event, EventQueue};
+use crate::federation::FederationState;
 use crate::jobstate::JobState;
 use crate::metrics::{SimMetrics, SimResult};
 use crate::probe::{Probe, ProbeId};
@@ -44,6 +45,24 @@ pub struct SimState {
     pub(crate) fault_rng: StdRng,
     pub(crate) touched: Vec<WorkerId>,
     crv_ledger: CrvLedger,
+    /// Federated domain state (`None` unless
+    /// [`crate::config::FederationConfig::is_active`]). The global
+    /// `crv_ledger` above stays authoritative; the per-domain ledgers in
+    /// here are an additive partition of it, maintained by the same
+    /// wrappers.
+    federation: Option<Box<FederationState>>,
+    /// The placement domain of the event currently being handled (the
+    /// job's home domain, or the domain of the worker an event fired on).
+    /// `None` outside federated runs and for cluster-wide control-plane
+    /// events (heartbeats, gossip); read by the [`SimCtx`] sampling
+    /// ladder.
+    pub(crate) active_domain: Option<usize>,
+    /// Per worker: virtual time of the crash currently keeping it down.
+    crash_started: Vec<Option<u64>>,
+    /// Closed `(crash_us, recover_us)` downtime intervals; open crashes
+    /// are closed against the final makespan by [`finalize_result`]. Pure
+    /// accounting for [`SimResult::downtime_us`] — not part of the digest.
+    downtime_log: Vec<(u64, u64)>,
     next_probe: u64,
     next_task_seq: u64,
     /// Trace record dispatcher (no-op unless a sink is attached). Emits
@@ -70,6 +89,52 @@ impl SimState {
     /// The incrementally maintained CRV demand/supply ledger.
     pub fn crv_ledger(&self) -> &CrvLedger {
         &self.crv_ledger
+    }
+
+    /// The federated domain state, when federation is active.
+    pub fn federation(&self) -> Option<&FederationState> {
+        self.federation.as_deref()
+    }
+
+    /// Mutable federation state (engine and sampling-ladder stats).
+    pub(crate) fn federation_mut(&mut self) -> Option<&mut FederationState> {
+        self.federation.as_deref_mut()
+    }
+
+    /// Mirrors a probe-enqueued ledger update into the owning domain's
+    /// ledger. No-op when federation is off.
+    fn domain_probe_enqueued(&mut self, worker: WorkerId, probe: &Probe) {
+        if let Some(fed) = self.federation.as_deref_mut() {
+            let d = fed.domain_of_worker(worker.index());
+            let set = &self.jobs[probe.job.0 as usize].effective_constraints;
+            fed.ledger_mut(d)
+                .probe_enqueued(probe.id, probe.job, set, &self.feasibility);
+        }
+    }
+
+    /// Mirrors a probe-removed ledger update into the owning domain's
+    /// ledger. No-op when federation is off.
+    fn domain_probe_removed(&mut self, worker: WorkerId, probe: ProbeId) {
+        if let Some(fed) = self.federation.as_deref_mut() {
+            let d = fed.domain_of_worker(worker.index());
+            fed.ledger_mut(d).probe_removed(probe, &self.feasibility);
+        }
+    }
+
+    /// Mirrors an idle→busy transition into the owning domain's ledger.
+    fn domain_worker_busy(&mut self, worker: WorkerId) {
+        if let Some(fed) = self.federation.as_deref_mut() {
+            let d = fed.domain_of_worker(worker.index());
+            fed.ledger_mut(d).worker_busy(worker.index());
+        }
+    }
+
+    /// Mirrors a busy→idle transition into the owning domain's ledger.
+    fn domain_worker_idle(&mut self, worker: WorkerId) {
+        if let Some(fed) = self.federation.as_deref_mut() {
+            let d = fed.domain_of_worker(worker.index());
+            fed.ledger_mut(d).worker_idle(worker.index());
+        }
     }
 
     /// The trace dispatcher (read side: `enabled()` checks).
@@ -105,6 +170,7 @@ impl SimState {
         let set = &self.jobs[probe.job.0 as usize].effective_constraints;
         self.crv_ledger
             .probe_enqueued(probe.id, probe.job, set, &self.feasibility);
+        self.domain_probe_enqueued(worker, &probe);
         self.workers[worker.index()].enqueue(probe);
     }
 
@@ -114,6 +180,7 @@ impl SimState {
         let set = &self.jobs[probe.job.0 as usize].effective_constraints;
         self.crv_ledger
             .probe_enqueued(probe.id, probe.job, set, &self.feasibility);
+        self.domain_probe_enqueued(worker, &probe);
         self.workers[worker.index()].enqueue_front(probe);
     }
 
@@ -122,6 +189,7 @@ impl SimState {
     pub fn remove_probe_at(&mut self, worker: WorkerId, index: usize) -> Probe {
         let probe = self.workers[worker.index()].remove_probe(index);
         self.crv_ledger.probe_removed(probe.id, &self.feasibility);
+        self.domain_probe_removed(worker, probe.id);
         probe
     }
 
@@ -136,6 +204,12 @@ impl SimState {
         for probe in &stolen {
             self.crv_ledger.probe_removed(probe.id, &self.feasibility);
         }
+        if self.federation.is_some() {
+            for probe in &stolen {
+                let id = probe.id;
+                self.domain_probe_removed(worker, id);
+            }
+        }
         stolen
     }
 
@@ -147,6 +221,7 @@ impl SimState {
         w.start_task(task, now);
         if was_idle {
             self.crv_ledger.worker_busy(worker.index());
+            self.domain_worker_busy(worker);
         }
     }
 
@@ -157,6 +232,7 @@ impl SimState {
         let task = w.finish_task(seq);
         if w.is_idle() {
             self.crv_ledger.worker_idle(worker.index());
+            self.domain_worker_idle(worker);
         }
         task
     }
@@ -177,6 +253,10 @@ impl SimState {
         w.set_alive(false);
         // Supply removal: dead counts as busy; idempotent if it already was.
         self.crv_ledger.worker_busy(worker.index());
+        self.domain_worker_busy(worker);
+        // Open a downtime interval for capacity accounting; closed by
+        // recovery (or against the final makespan).
+        self.crash_started[worker.index()] = Some(now.as_micros());
         self.metrics.busy_us = self.metrics.busy_us.saturating_sub(unspent);
         (killed, dropped)
     }
@@ -189,6 +269,10 @@ impl SimState {
         debug_assert!(w.is_idle() && w.queue_len() == 0, "crash did not drain");
         w.set_alive(true);
         self.crv_ledger.worker_idle(worker.index());
+        self.domain_worker_idle(worker);
+        if let Some(start) = self.crash_started[worker.index()].take() {
+            self.downtime_log.push((start, self.now.as_micros()));
+        }
     }
 
     /// Rebuilds the CRV ledger from scratch out of the current queues and
@@ -207,6 +291,20 @@ impl SimState {
             }
         }
         self.crv_ledger = ledger;
+        if let Some(fed) = self.federation.as_deref_mut() {
+            fed.reset_ledgers();
+            for (i, w) in self.workers.iter().enumerate() {
+                let d = fed.domain_of_worker(i);
+                if !w.is_idle() || !w.is_alive() {
+                    fed.ledger_mut(d).worker_busy(i);
+                }
+                for p in w.queue() {
+                    let set = &self.jobs[p.job.0 as usize].effective_constraints;
+                    fed.ledger_mut(d)
+                        .probe_enqueued(p.id, p.job, set, &self.feasibility);
+                }
+            }
+        }
     }
 }
 
@@ -268,6 +366,15 @@ impl Simulation {
             let victim = WorkerId(fault_rng.random_range(0..n_workers) as u32);
             events.schedule(SimTime::ZERO + at, Event::WorkerCrash(victim));
         }
+        let federation = config.federation;
+        if federation.is_partitioned() && !jobs.is_empty() {
+            // First gossip round; subsequent rounds chain themselves while
+            // work is outstanding. Never scheduled at K <= 1 (byte parity).
+            events.schedule(
+                SimTime::ZERO + federation.gossip_interval,
+                Event::GossipPublish,
+            );
+        }
         let metrics = SimMetrics::new(config.timeseries_bucket, config.record_task_waits);
         // Zero-task jobs are born complete, so the outstanding count is a
         // filter, not `jobs.len()`.
@@ -287,6 +394,12 @@ impl Simulation {
                 fault_rng,
                 touched: Vec::new(),
                 crv_ledger: CrvLedger::new(n_workers),
+                federation: federation
+                    .is_active()
+                    .then(|| Box::new(FederationState::new(federation, n_workers))),
+                active_domain: None,
+                crash_started: vec![None; n_workers],
+                downtime_log: Vec::new(),
                 next_probe: 0,
                 next_task_seq: 0,
                 tracer: Tracer::disabled(),
@@ -364,10 +477,12 @@ impl Simulation {
             debug_assert!(t >= self.state.now, "time must not go backwards");
             let heartbeat = self.auditor.is_some() && matches!(event, Event::SchedulerWakeup(_));
             self.state.now = t;
+            self.state.active_domain = self.placement_domain(&event);
             let started = self.state.profiler.begin();
             self.handle(event);
             self.state.profiler.end(ProfileScope::HandleEvent, started);
             self.drain_touched();
+            self.state.active_domain = None;
             if let Some(auditor) = self.auditor.as_deref_mut() {
                 auditor.after_event(heartbeat, &self.state, &self.events);
             }
@@ -474,7 +589,76 @@ impl Simulation {
                 };
                 self.scheduler.on_probe_retry(probe, &mut ctx);
             }
+            Event::GossipPublish => {
+                // Chain the next round first (gated on outstanding work,
+                // like the crash chain, so the event loop terminates).
+                self.schedule_next_gossip();
+                // Partition oracle: the domain ledgers must tile the global
+                // one — any drift means a wrapper bypassed the mirrors.
+                #[cfg(debug_assertions)]
+                {
+                    let global = self.state.crv_ledger().queued_probes();
+                    if let Some(fed) = self.state.federation() {
+                        let sum: usize = (0..fed.domains())
+                            .map(|d| fed.ledger(d).queued_probes())
+                            .sum();
+                        debug_assert_eq!(sum, global, "domain ledgers desynced from global");
+                    }
+                }
+                let now = self.state.now;
+                let mut deliver_after = None;
+                if let Some(fed) = self.state.federation_mut() {
+                    if fed.publish(now) {
+                        deliver_after = Some(fed.config().staleness);
+                    }
+                }
+                if let Some(staleness) = deliver_after {
+                    self.events.schedule(now + staleness, Event::GossipDeliver);
+                }
+            }
+            Event::GossipDeliver => {
+                if let Some(fed) = self.state.federation_mut() {
+                    fed.deliver();
+                }
+            }
         }
+    }
+
+    /// The placement domain of `event` under a partitioned federation:
+    /// job-scoped events belong to the job's home domain, worker-scoped
+    /// events to the worker's domain, and control-plane events (wakeups,
+    /// gossip) to none. `None` whenever federation is off or single-domain.
+    fn placement_domain(&self, event: &Event) -> Option<usize> {
+        let fed = self.state.federation.as_deref()?;
+        if !fed.config().is_partitioned() {
+            return None;
+        }
+        match event {
+            Event::JobArrival(index) => Some(fed.domain_of_job(*index)),
+            Event::ProbeRetry(probe) => Some(fed.domain_of_job(probe.job.0)),
+            Event::ProbeArrival(worker, _)
+            | Event::TaskFinish(worker, _)
+            | Event::WorkerCrash(worker)
+            | Event::WorkerRecover(worker) => Some(fed.domain_of_worker(worker.index())),
+            Event::SchedulerWakeup(_) | Event::GossipPublish | Event::GossipDeliver => None,
+        }
+    }
+
+    /// Chains the next gossip round while any job still has work
+    /// outstanding. Gossip draws no randomness — the policy and fault RNG
+    /// streams are untouched, so a K-domain run is reproducible and a
+    /// K <= 1 run (which never schedules gossip) stays byte-identical to
+    /// the centralized engine.
+    fn schedule_next_gossip(&mut self) {
+        let Some(fed) = self.state.federation() else {
+            return;
+        };
+        if !fed.config().is_partitioned() || self.state.outstanding_jobs == 0 {
+            return;
+        }
+        let interval = fed.config().gossip_interval;
+        self.events
+            .schedule(self.state.now + interval, Event::GossipPublish);
     }
 
     /// Bounces a casualty probe into the retry path: schedules a
@@ -692,6 +876,20 @@ pub(crate) fn finalize_result(
     audit: Option<AuditReport>,
 ) -> SimResult {
     state.tracer.flush();
+    // Close still-open crash intervals against the end of the run and sum
+    // per-worker downtime, clamped to the final makespan (capacity lost
+    // after the last task finished is outside the utilization window).
+    let final_us = state.metrics.makespan.as_micros();
+    for started in &mut state.crash_started {
+        if let Some(start) = started.take() {
+            state.downtime_log.push((start, final_us));
+        }
+    }
+    let downtime_us: u64 = state
+        .downtime_log
+        .iter()
+        .map(|&(start, end)| end.min(final_us).saturating_sub(start.min(final_us)))
+        .sum();
     let incomplete = state
         .jobs
         .iter()
@@ -726,6 +924,8 @@ pub(crate) fn finalize_result(
         incomplete_jobs: incomplete,
         lost_tasks,
         job_outcomes,
+        downtime_us,
+        federation: state.federation.as_deref().map(|f| f.stats),
         profile: state.profiler.report(),
         audit,
     }

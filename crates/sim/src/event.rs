@@ -41,6 +41,13 @@ pub enum Event {
     /// up for re-placement after its backoff; handled by
     /// [`crate::Scheduler::on_probe_retry`].
     ProbeRetry(Probe),
+    /// Federation: every domain snapshots its ledger into a summary batch
+    /// (and chains the next round). Only scheduled with two or more
+    /// domains; draws no randomness.
+    GossipPublish,
+    /// Federation: the oldest published-but-undelivered summary batch
+    /// becomes visible (fires `staleness` after its publish).
+    GossipDeliver,
 }
 
 /// An event scheduled at a time, with a sequence number breaking ties
@@ -346,6 +353,80 @@ mod tests {
         q.schedule(SimTime(150), Event::JobArrival(3));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.0).collect();
         assert_eq!(order, vec![100, 150, 200]);
+    }
+
+    #[test]
+    fn bucket_edge_event_lands_in_the_next_bucket() {
+        // t = BUCKET_WIDTH is the first instant of bucket 1 and
+        // t = BUCKET_WIDTH - 1 the last of bucket 0; an exact-edge event
+        // must not be misfiled into the earlier bucket (or pop late).
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(BUCKET_WIDTH), Event::JobArrival(0));
+        q.schedule(SimTime(BUCKET_WIDTH - 1), Event::JobArrival(1));
+        q.schedule(SimTime(BUCKET_WIDTH + 1), Event::JobArrival(2));
+        // Same-edge tie: FIFO after the first edge event.
+        q.schedule(SimTime(BUCKET_WIDTH), Event::JobArrival(3));
+        let order: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| match e {
+                Event::JobArrival(i) => (t.0, i),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (BUCKET_WIDTH - 1, 1),
+                (BUCKET_WIDTH, 0),
+                (BUCKET_WIDTH, 3),
+                (BUCKET_WIDTH + 1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn window_edge_event_goes_far_and_comes_back() {
+        // t = WINDOW - 1 is the last near instant and t = WINDOW the first
+        // far one; the pop sequence must cross the edge seamlessly.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(WINDOW), Event::JobArrival(0));
+        q.schedule(SimTime(WINDOW - 1), Event::JobArrival(1));
+        assert_eq!(q.len(), 2);
+        let (t1, e1) = q.pop().expect("near event");
+        assert_eq!((t1.0, e1), (WINDOW - 1, Event::JobArrival(1)));
+        let (t2, e2) = q.pop().expect("far event after window advance");
+        assert_eq!((t2.0, e2), (WINDOW, Event::JobArrival(0)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn window_advance_drains_far_heap_in_fifo_time_order() {
+        // Far events spread over two later windows, pushed out of order
+        // with same-time ties: each window advance must surface exactly
+        // the events of the next window, (time, seq)-FIFO, and keep the
+        // rest in the heap for the advance after that.
+        let last_bucket = WINDOW + BUCKET_WIDTH * (NUM_BUCKETS as u64 - 1);
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(WINDOW * 2 + 5), Event::JobArrival(0));
+        q.schedule(SimTime(WINDOW + 5), Event::JobArrival(1));
+        q.schedule(SimTime(WINDOW + 5), Event::JobArrival(2));
+        q.schedule(SimTime(WINDOW * 2 + 5), Event::JobArrival(3));
+        q.schedule(SimTime(last_bucket), Event::JobArrival(4));
+        let order: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| match e {
+                Event::JobArrival(i) => (t.0, i),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (WINDOW + 5, 1),
+                (WINDOW + 5, 2),
+                (last_bucket, 4),
+                (WINDOW * 2 + 5, 0),
+                (WINDOW * 2 + 5, 3),
+            ]
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod crvledger;
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod federation;
 pub mod jobstate;
 pub mod metrics;
 pub mod probe;
@@ -78,12 +79,13 @@ pub mod worker;
 pub use audit::{
     first_trace_divergence, AuditConfig, AuditReport, InvariantAuditor, ReferenceExecutor,
 };
-pub use config::SimConfig;
+pub use config::{FederationConfig, SimConfig};
 pub use context::SimCtx;
 pub use crvledger::CrvLedger;
 pub use engine::{SimState, Simulation};
 pub use event::{Event, EventQueue};
 pub use fault::FaultPlan;
+pub use federation::{DomainSummary, FederationState, FederationStats};
 pub use jobstate::JobState;
 pub use metrics::{Counters, JobOutcome, SimMetrics, SimResult};
 pub use probe::{Probe, ProbeId};

@@ -205,6 +205,15 @@ pub struct SimResult {
     pub lost_tasks: u64,
     /// Per-job outcomes, in trace order.
     pub job_outcomes: Vec<JobOutcome>,
+    /// Total per-worker crash downtime, microseconds, clamped to the
+    /// makespan. Pure capacity accounting derived from the fault schedule
+    /// (not a new outcome), so it is excluded from `digest()` — the fault
+    /// counters already pin the crash schedule.
+    pub downtime_us: u64,
+    /// Federation gossip/sampling statistics (`None` unless
+    /// [`crate::FederationConfig::is_active`]). Observability only,
+    /// excluded from `digest()`.
+    pub federation: Option<crate::federation::FederationStats>,
     /// Hot-path wall-clock profile (`None` unless profiling was enabled).
     /// Wall-clock varies run to run, so this is excluded from `digest()`.
     pub profile: Option<ProfileReport>,
@@ -216,17 +225,23 @@ pub struct SimResult {
 }
 
 impl SimResult {
-    /// Cluster utilization: busy slot time over total slot time until the
-    /// makespan. `busy_us` accumulates across every execution slot, so the
-    /// denominator is `makespan × workers × slots` — dividing by workers
-    /// alone reads > 100% on any loaded multi-slot run.
+    /// Cluster utilization: busy slot time over *available* slot time
+    /// until the makespan. `busy_us` accumulates across every execution
+    /// slot, so the base capacity is `makespan × workers × slots` —
+    /// dividing by workers alone reads > 100% on any loaded multi-slot
+    /// run. Crashed-worker downtime (`downtime_us`, already clamped to the
+    /// makespan) is capacity the cluster never had, so it is subtracted
+    /// from the denominator — the naive formula undercounts utilization on
+    /// every faulted run.
     pub fn utilization(&self) -> f64 {
         let slots = self.slots_per_worker.max(1);
-        let total = self.metrics.makespan.as_micros() as f64 * (self.workers * slots) as f64;
-        if total == 0.0 {
+        let capacity_us =
+            self.metrics.makespan.as_micros() * (self.workers as u64) * (slots as u64);
+        let available = capacity_us.saturating_sub(self.downtime_us * slots as u64) as f64;
+        if available == 0.0 {
             return 0.0;
         }
-        self.metrics.busy_us as f64 / total
+        self.metrics.busy_us as f64 / available
     }
 
     /// Percentile of job response time for a (class, status) cell, seconds.
@@ -434,6 +449,8 @@ mod tests {
             incomplete_jobs: 0,
             lost_tasks: 0,
             job_outcomes: Vec::new(),
+            downtime_us: 0,
+            federation: None,
             profile: None,
             audit: None,
         }
@@ -457,6 +474,23 @@ mod tests {
         assert!((half.utilization() - 0.5).abs() < 1e-12);
     }
 
+    /// A crashed worker's downtime is capacity the cluster never had;
+    /// subtracting it must raise utilization, and a fully-busy surviving
+    /// cluster must read exactly 100%, never more.
+    #[test]
+    fn utilization_excludes_crash_downtime() {
+        // 2 workers × 1 s makespan; one worker down for the last 0.5 s,
+        // the rest of the capacity fully busy: 1.5 s busy / 1.5 s avail.
+        let mut r = result_with(2, 1, 1_000_000, 1_500_000);
+        assert!((r.utilization() - 0.75).abs() < 1e-12, "naive before fix");
+        r.downtime_us = 500_000;
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+        // Downtime scales by the slot count on multi-slot workers.
+        let mut r = result_with(2, 2, 1_000_000, 3_000_000);
+        r.downtime_us = 500_000;
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+    }
+
     #[test]
     fn digest_is_stable_and_content_sensitive() {
         let m = SimMetrics::new(SimDuration::from_secs(60), false);
@@ -468,6 +502,8 @@ mod tests {
             metrics: m,
             incomplete_jobs: 0,
             lost_tasks: 0,
+            downtime_us: 0,
+            federation: None,
             profile: None,
             audit: None,
             job_outcomes: vec![JobOutcome {

@@ -179,7 +179,10 @@ impl TraceGenerator {
             })
             .collect();
         let estimated = task_durations_s.iter().sum::<f64>() / task_durations_s.len() as f64;
-        let base_fraction = (p.constraint_model.constrained_fraction * boost).min(1.0);
+        // Domain-aware profiles tilt the acceptance threshold, never the
+        // draw itself, so an unskewed profile is byte-identical.
+        let tilt = p.domain_tilt(id.0);
+        let base_fraction = (p.constraint_model.constrained_fraction * boost * tilt).min(1.0);
         let constraints = if short {
             if rng.random::<f64>() < base_fraction {
                 self.synthesize_calibrated(reference, usize::MAX, rng)
@@ -291,6 +294,37 @@ mod tests {
             // Estimates classify identically to ground truth.
             assert_eq!(job.estimated_task_duration_s <= cutoff, job.short);
         }
+    }
+
+    #[test]
+    fn unskewed_domain_profile_is_byte_identical() {
+        let plain = TraceGenerator::new(TraceProfile::yahoo(), 7).generate(400, 100, 0.8);
+        let aware = TraceGenerator::new(TraceProfile::yahoo().with_domains(8, 0.0), 7)
+            .generate(400, 100, 0.8);
+        assert_eq!(plain.len(), aware.len());
+        for (a, b) in plain.iter().zip(aware.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn domain_skew_tilts_constrained_fraction_across_domains() {
+        let k = 2;
+        let g = TraceGenerator::new(TraceProfile::google().with_domains(k, 0.9), 13);
+        let trace = g.generate(8_000, 1_000, 0.5);
+        let fraction_of = |domain: usize| {
+            let jobs: Vec<_> = trace
+                .iter()
+                .filter(|j| j.id.0 as usize % k == domain)
+                .collect();
+            jobs.iter().filter(|j| j.is_constrained()).count() as f64 / jobs.len() as f64
+        };
+        let light = fraction_of(0);
+        let heavy = fraction_of(1);
+        assert!(
+            heavy > light + 0.2,
+            "skew must separate domains: light {light}, heavy {heavy}"
+        );
     }
 
     #[test]

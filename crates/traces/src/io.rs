@@ -19,6 +19,23 @@
 //!
 //! Floating-point fields round-trip exactly (Rust's shortest-representation
 //! `Display`).
+//!
+//! **Delimiter policy: reject, not escape.** The format has no escape
+//! syntax, so any value that could collide with a structural delimiter is
+//! *rejected with a clear error* on both sides rather than silently
+//! mis-parsed later:
+//!
+//! * trace names may not be empty, contain `\n`/`\r` (line injection), or
+//!   carry leading/trailing whitespace (lost by the reader's `trim`) —
+//!   [`write_trace`] fails with [`std::io::ErrorKind::InvalidData`] and
+//!   [`read_trace`] rejects the same shapes;
+//! * non-finite floats (`NaN`, `inf`) are rejected on write: `NaN` would
+//!   even "round-trip" through parsing but break every equality downstream;
+//! * duplicate `user=`/`expr=` trailing fields are rejected on read
+//!   (previously the last one silently won).
+//!
+//! Constraint tokens themselves cannot collide with `:`/`;`/`,`: classes,
+//! kinds and ops are closed enums and values are plain integers.
 
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -67,15 +84,51 @@ impl From<std::io::Error> for ReadTraceError {
 
 const HEADER: &str = "# phoenix-trace v1";
 
+/// Why a trace name is unserializable, or `None` if it is fine. Shared by
+/// the writer (hard error) and the reader (same shapes rejected).
+fn name_defect(name: &str) -> Option<&'static str> {
+    if name.is_empty() {
+        Some("trace name must not be empty")
+    } else if name.contains(['\n', '\r']) {
+        Some("trace name must not contain newline characters")
+    } else if name != name.trim() {
+        Some("trace name must not have leading/trailing whitespace")
+    } else {
+        None
+    }
+}
+
+fn invalid_data(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
 /// Writes `trace` in the text format.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from `writer`.
+/// Propagates I/O errors from `writer`. Fails with
+/// [`std::io::ErrorKind::InvalidData`] — *before* writing the offending
+/// line — when the trace cannot round-trip: a defective name (see the
+/// module docs' delimiter policy) or a non-finite arrival/duration.
 pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> std::io::Result<()> {
+    if let Some(defect) = name_defect(trace.name()) {
+        return Err(invalid_data(format!("{defect}: {:?}", trace.name())));
+    }
     writeln!(writer, "{HEADER}")?;
     writeln!(writer, "name {}", trace.name())?;
     for job in trace {
+        if !job.arrival_s.is_finite() {
+            return Err(invalid_data(format!(
+                "job {}: non-finite arrival {} does not round-trip",
+                job.id.0, job.arrival_s
+            )));
+        }
+        if let Some(d) = job.task_durations_s.iter().find(|d| !d.is_finite()) {
+            return Err(invalid_data(format!(
+                "job {}: non-finite task duration {d} does not round-trip",
+                job.id.0
+            )));
+        }
         write!(
             writer,
             "job {} {} {} durations=",
@@ -157,6 +210,11 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
             continue;
         }
         if let Some(n) = line.strip_prefix("name ") {
+            // The writer refuses names that cannot round-trip; hold hand-
+            // edited files to the same rule instead of silently normalizing.
+            if let Some(defect) = name_defect(n) {
+                return Err(ReadTraceError::Parse(line_no, defect.to_string()));
+            }
             name = n.to_string();
             continue;
         }
@@ -213,14 +271,27 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
                 .map(|t| parse_constraint(t, line_no))
                 .collect::<Result<_, _>>()?
         };
-        let mut user = 0u32;
+        let mut user: Option<u32> = None;
         let mut expr: Option<ConstraintExpr> = None;
         for f in &fields[5..] {
             if let Some(u) = f.strip_prefix("user=") {
-                user = u
-                    .parse()
-                    .map_err(|_| ReadTraceError::Parse(line_no, format!("bad user '{u}'")))?;
+                if user.is_some() {
+                    return Err(ReadTraceError::Parse(
+                        line_no,
+                        "duplicate user= field".into(),
+                    ));
+                }
+                user = Some(
+                    u.parse()
+                        .map_err(|_| ReadTraceError::Parse(line_no, format!("bad user '{u}'")))?,
+                );
             } else if let Some(e) = f.strip_prefix("expr=") {
+                if expr.is_some() {
+                    return Err(ReadTraceError::Parse(
+                        line_no,
+                        "duplicate expr= field".into(),
+                    ));
+                }
                 expr = Some(ConstraintExpr::parse(e).ok_or_else(|| {
                     ReadTraceError::Parse(line_no, format!("bad expression '{e}'"))
                 })?);
@@ -245,7 +316,7 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
             estimated_task_duration_s: estimated,
             constraints: set.with_placement(placement),
             short,
-            user,
+            user: user.unwrap_or(0),
         });
     }
     Ok(Trace::new(name, jobs))
@@ -345,5 +416,81 @@ mod tests {
     fn display_of_errors_is_informative() {
         let e = ReadTraceError::Parse(3, "boom".into());
         assert!(e.to_string().contains("line 3"));
+    }
+
+    fn one_job(arrival: f64, durations: Vec<f64>) -> Job {
+        Job {
+            id: JobId(0),
+            arrival_s: arrival,
+            task_durations_s: durations,
+            estimated_task_duration_s: 1.0,
+            constraints: ConstraintSet::unconstrained(),
+            short: true,
+            user: 0,
+        }
+    }
+
+    /// The format has no escape syntax: names that would corrupt the file
+    /// (line injection) or silently not round-trip (padding, empty) are
+    /// rejected on write with `InvalidData`, per the module docs.
+    #[test]
+    fn writer_rejects_unserializable_names() {
+        for name in ["", " padded", "padded ", "two\nlines", "cr\rreturn"] {
+            let trace = Trace::new(name, vec![one_job(0.0, vec![1.0])]);
+            let err = write_trace(&trace, &mut Vec::new()).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name:?}");
+        }
+        // Interior spaces and delimiter characters are fine — the name is
+        // the whole rest of the line.
+        let trace = Trace::new("a name; with:odd,tokens=all(1)", vec![]);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.name(), trace.name());
+    }
+
+    /// `NaN` would even parse back — and then poison every downstream
+    /// equality — so non-finite floats are a write-time error, before the
+    /// offending line is emitted.
+    #[test]
+    fn writer_rejects_non_finite_floats() {
+        for job in [
+            one_job(f64::NAN, vec![1.0]),
+            one_job(f64::INFINITY, vec![1.0]),
+            one_job(0.0, vec![1.0, f64::NAN]),
+            one_job(0.0, vec![f64::NEG_INFINITY]),
+        ] {
+            let trace = Trace::new("t", vec![job]);
+            let err = write_trace(&trace, &mut Vec::new()).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        }
+    }
+
+    /// Duplicate trailing fields used to silently last-win; now they are a
+    /// parse error, and the reader holds hand-edited `name` lines to the
+    /// writer's round-trip rules.
+    #[test]
+    fn reader_rejects_duplicates_and_defective_names() {
+        let text = format!("{HEADER}\njob 0 short none durations=1 constraints=- user=1 user=2\n");
+        assert!(read_trace(text.as_bytes()).is_err());
+        let text = format!(
+            "{HEADER}\njob 0 short none durations=1 constraints=- expr=hard:arch:=:0 expr=hard:arch:=:0\n"
+        );
+        assert!(read_trace(text.as_bytes()).is_err());
+        let text = format!("{HEADER}\nname  padded\n");
+        assert!(read_trace(text.as_bytes()).is_err(), "leading whitespace");
+        let text = format!("{HEADER}\nname \n");
+        assert!(read_trace(text.as_bytes()).is_err(), "empty name");
+    }
+
+    /// Empty delimiter-separated tokens are loud errors, not silent zeros.
+    #[test]
+    fn reader_rejects_empty_value_tokens() {
+        let text = format!("{HEADER}\njob 0 short none durations=1,,2 constraints=-\n");
+        assert!(read_trace(text.as_bytes()).is_err(), "empty duration");
+        let text = format!("{HEADER}\njob 0 short none durations=1 constraints=hard:arch:=:\n");
+        assert!(read_trace(text.as_bytes()).is_err(), "empty value");
+        let text = format!("{HEADER}\njob 0 short none durations=1 constraints=;\n");
+        assert!(read_trace(text.as_bytes()).is_err(), "empty constraint");
     }
 }

@@ -55,6 +55,20 @@ pub struct TraceProfile {
     pub min_class_supply: f64,
     /// Machine-population mix for the cluster running this trace.
     pub population: PopulationProfile,
+    /// Number of federated placement domains this workload targets. The
+    /// simulator maps jobs to domains as `job_id % domains`; a
+    /// domain-aware profile uses the same mapping so per-domain workload
+    /// character lines up with the placement shards. `0` (the default)
+    /// generates a domain-oblivious trace.
+    pub domains: usize,
+    /// Per-domain tilt on the constrained-job fraction, in `[0, 1)`.
+    /// Domain `d` of `K` scales the constrained probability by
+    /// `1 + skew·(2d/(K−1) − 1)`: the lowest domain is constraint-light,
+    /// the highest constraint-heavy, and the cluster-wide mean is
+    /// preserved. Ignored unless `domains > 1`. At `0.0` generation is
+    /// byte-identical to a domain-oblivious profile — the tilt only moves
+    /// the acceptance threshold of a draw that happens either way.
+    pub domain_constraint_skew: f64,
 }
 
 impl TraceProfile {
@@ -80,6 +94,8 @@ impl TraceProfile {
             num_users: 50,
             min_class_supply: 0.02,
             population: PopulationProfile::google_like(),
+            domains: 0,
+            domain_constraint_skew: 0.0,
         }
     }
 
@@ -100,6 +116,8 @@ impl TraceProfile {
             num_users: 50,
             min_class_supply: 0.02,
             population: PopulationProfile::enterprise_like(),
+            domains: 0,
+            domain_constraint_skew: 0.0,
         }
     }
 
@@ -121,6 +139,8 @@ impl TraceProfile {
             num_users: 50,
             min_class_supply: 0.02,
             population: PopulationProfile::enterprise_like(),
+            domains: 0,
+            domain_constraint_skew: 0.0,
         }
     }
 
@@ -165,6 +185,28 @@ impl TraceProfile {
     pub fn with_constraint_model(mut self, model: ConstraintModel) -> Self {
         self.constraint_model = model;
         self
+    }
+
+    /// Makes the profile domain-aware: jobs are generated for `domains`
+    /// federated shards with the given constrained-fraction `skew` (see
+    /// [`TraceProfile::domain_constraint_skew`]). `skew` is clamped to
+    /// `[0, 0.99]`; a skew of `0.0` leaves generation byte-identical.
+    pub fn with_domains(mut self, domains: usize, skew: f64) -> Self {
+        self.domains = domains;
+        self.domain_constraint_skew = skew.clamp(0.0, 0.99);
+        self
+    }
+
+    /// Multiplier the generator applies to a job's constrained probability
+    /// based on its home domain (`job_id % domains`). `1.0` whenever the
+    /// profile is domain-oblivious (`domains < 2`) or unskewed.
+    pub fn domain_tilt(&self, job_id: u32) -> f64 {
+        if self.domains < 2 || self.domain_constraint_skew == 0.0 {
+            return 1.0;
+        }
+        let k = self.domains as f64;
+        let d = (job_id as usize % self.domains) as f64;
+        1.0 + self.domain_constraint_skew * (2.0 * d / (k - 1.0) - 1.0)
     }
 
     /// Expected work (seconds of busy slot time) contributed by an average

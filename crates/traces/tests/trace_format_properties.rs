@@ -1,0 +1,152 @@
+//! Property tests for the text trace format: adversarial—but valid—content
+//! must round-trip write → read exactly (names full of delimiter and
+//! expression-grammar tokens, bit-exact floats, constraint sets and
+//! expression trees), and unserializable content must be rejected loudly
+//! on write instead of corrupting the file (the module's reject-not-escape
+//! delimiter policy).
+
+use proptest::prelude::*;
+
+use phoenix_constraints::{
+    Constraint, ConstraintClass, ConstraintExpr, ConstraintKind, ConstraintOp, ConstraintSet,
+    PlacementConstraint,
+};
+use phoenix_traces::{read_trace, write_trace, Job, JobId, Trace};
+
+/// Trace-name characters skewed toward everything the format uses as
+/// structure: field separators, key=value markers, constraint and
+/// expression grammar tokens.
+fn arb_name() -> impl Strategy<Value = String> {
+    let palette: Vec<char> = "abcXY012 :;,=()<>{}-#".chars().collect();
+    prop::collection::vec(prop::sample::select(palette), 1..24).prop_map(|chars| {
+        let raw: String = chars.into_iter().collect();
+        let trimmed = raw.trim();
+        // The writer (rightly) refuses padded or empty names; normalize
+        // instead of filtering so every case still exercises a round trip.
+        if trimmed.is_empty() {
+            "t".to_string()
+        } else {
+            trimmed.to_string()
+        }
+    })
+}
+
+/// Finite floats across magnitudes; shortest-representation `Display`
+/// round-trips any finite f64 bit-exactly.
+fn arb_float() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0f64..10.0,
+        0.0f64..1e-6,
+        0.0f64..1e12,
+        (0u64..1000).prop_map(|v| v as f64 / 16.0),
+    ]
+}
+
+fn arb_constraint() -> impl Strategy<Value = Constraint> {
+    (
+        prop::sample::select(ConstraintKind::ALL.to_vec()),
+        prop::sample::select(vec![ConstraintOp::Lt, ConstraintOp::Gt, ConstraintOp::Eq]),
+        0u64..5000,
+        prop::sample::select(vec![ConstraintClass::Hard, ConstraintClass::Soft]),
+    )
+        .prop_map(|(kind, op, value, class)| Constraint::new(kind, op, value, class))
+}
+
+/// Constraint payloads: unconstrained, flat sets, or small expression
+/// trees (the writer emits the tree in the compact `expr=` grammar and the
+/// flat projection alongside; the reader must prefer the tree).
+fn arb_set() -> impl Strategy<Value = ConstraintSet> {
+    prop_oneof![
+        Just(ConstraintSet::unconstrained()),
+        prop::collection::vec(arb_constraint(), 1..4).prop_map(ConstraintSet::from_constraints),
+        (
+            prop::collection::vec(arb_constraint(), 1..3),
+            prop::collection::vec(arb_constraint(), 1..3),
+            0usize..3,
+        )
+            .prop_map(|(a, b, shape)| {
+                let left = ConstraintExpr::all(a);
+                let right = ConstraintExpr::all(b);
+                let expr = match shape {
+                    0 => ConstraintExpr::any_of(vec![left, right]),
+                    1 => ConstraintExpr::all_of(vec![left, ConstraintExpr::not(right)]),
+                    _ => ConstraintExpr::all_of(vec![left, right]),
+                };
+                ConstraintSet::from_expr(expr)
+            }),
+    ]
+}
+
+fn arb_job() -> impl Strategy<Value = Job> {
+    (
+        arb_float(),
+        prop::collection::vec(arb_float(), 1..5),
+        arb_set(),
+        prop::sample::select(vec![
+            PlacementConstraint::None,
+            PlacementConstraint::Colocate,
+            PlacementConstraint::Spread,
+        ]),
+        prop::sample::select(vec![true, false]),
+        0u32..1_000_000,
+    )
+        .prop_map(|(arrival, durations, set, placement, short, user)| Job {
+            id: JobId(0),
+            arrival_s: arrival,
+            task_durations_s: durations,
+            estimated_task_duration_s: 1.0,
+            constraints: set.with_placement(placement),
+            short,
+            user,
+        })
+}
+
+proptest! {
+    #[test]
+    fn adversarial_traces_round_trip_exactly(
+        name in arb_name(),
+        jobs in prop::collection::vec(arb_job(), 0..8),
+    ) {
+        let jobs: Vec<Job> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut j)| { j.id = JobId(i as u32); j })
+            .collect();
+        let trace = Trace::new(name, jobs);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("valid traces must serialize");
+        let back = read_trace(buf.as_slice()).expect("own output must parse");
+        prop_assert_eq!(back.name(), trace.name());
+        prop_assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(back.iter()) {
+            prop_assert_eq!(
+                a.arrival_s.to_bits(),
+                b.arrival_s.to_bits(),
+                "bit-exact arrival"
+            );
+            prop_assert_eq!(a.task_durations_s.len(), b.task_durations_s.len());
+            for (x, y) in a.task_durations_s.iter().zip(&b.task_durations_s) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "bit-exact duration");
+            }
+            prop_assert_eq!(&a.constraints, &b.constraints, "exact set round trip");
+            prop_assert_eq!(a.short, b.short);
+            prop_assert_eq!(a.user, b.user);
+        }
+    }
+
+    #[test]
+    fn unserializable_names_error_instead_of_corrupting(
+        core in arb_name(),
+        defect in 0usize..4,
+    ) {
+        let name = match defect {
+            0 => format!("{core}\ninjected"),
+            1 => format!("{core}\rinjected"),
+            2 => format!(" {core}"),
+            _ => format!("{core} "),
+        };
+        let trace = Trace::new(name, vec![]);
+        let err = write_trace(&trace, &mut Vec::new()).expect_err("defective name");
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

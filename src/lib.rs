@@ -76,9 +76,9 @@ pub mod prelude {
         BaselineConfig, ChoosyC, EagleC, HawkC, MercuryC, MonolithicC, SparrowC, YaqD,
     };
     pub use phoenix_sim::{
-        first_trace_divergence, AuditConfig, AuditReport, FaultPlan, JsonlSink, MemorySink,
-        ProfileReport, ProfileScope, ReferenceExecutor, Scheduler, SimConfig, SimResult,
-        Simulation, TraceRecord, TraceSink,
+        first_trace_divergence, AuditConfig, AuditReport, FaultPlan, FederationConfig,
+        FederationStats, JsonlSink, MemorySink, ProfileReport, ProfileScope, ReferenceExecutor,
+        Scheduler, SimConfig, SimDuration, SimResult, Simulation, TraceRecord, TraceSink,
     };
     pub use phoenix_traces::{Job, JobId, Trace, TraceGenerator, TraceProfile, TraceStats};
 }
